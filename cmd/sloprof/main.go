@@ -1,0 +1,70 @@
+// Command sloprof is the profiling tool described in §3.1 of the paper:
+// for applications without a clear latency SLO, it iterates SLO
+// settings inside a given range against a representative workload and
+// emits the latency-throughput graph from which a suitable SLO can be
+// picked. It profiles on the simulator by default (deterministic,
+// AMP-faithful) or a database template with -db.
+//
+// Usage:
+//
+//	sloprof -lo 0 -hi 100us -points 11
+//	sloprof -db upscaledb -hi 400us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/stats"
+)
+
+func main() {
+	db := flag.String("db", "", "profile a database template instead of Bench-1: kyoto|upscaledb|lmdb|leveldb|sqlite")
+	lo := flag.Duration("lo", 0, "lowest SLO")
+	hi := flag.Duration("hi", 100*time.Microsecond, "highest SLO")
+	points := flag.Int("points", 11, "number of SLO settings")
+	flag.Parse()
+
+	var runOne func(slo int64) core.ProfileResult
+	if *db == "" {
+		runOne = func(slo int64) core.ProfileResult {
+			r := figures.RunBench1ASL(slo)
+			return core.ProfileResult{
+				Throughput: r.Throughput,
+				BigP99:     r.Epochs.ByClass(stats.Big).P99(),
+				LittleP99:  r.Epochs.ByClass(stats.Little).P99(),
+				OverallP99: r.Epochs.Overall().P99(),
+			}
+		}
+	} else {
+		var tpl figures.DBTemplate
+		found := false
+		for _, t := range figures.AllDBTemplates() {
+			if t.Name == *db {
+				tpl, found = t, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "sloprof: unknown database %q\n", *db)
+			os.Exit(2)
+		}
+		runOne = func(slo int64) core.ProfileResult {
+			r := figures.RunDBASL(tpl, slo)
+			return core.ProfileResult{
+				Throughput: r.Throughput,
+				BigP99:     r.Epochs.ByClass(stats.Big).P99(),
+				LittleP99:  r.Epochs.ByClass(stats.Little).P99(),
+				OverallP99: r.Epochs.Overall().P99(),
+			}
+		}
+	}
+
+	slos := core.SLORange(int64(*lo), int64(*hi), *points)
+	pts := core.ProfileSLOs(slos, runOne)
+	fmt.Print(core.FormatProfile(pts))
+}

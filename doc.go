@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Asymmetry-aware
+// Scalable Locking" (LibASL, PPoPP 2022). The implementation lives under
+// internal/: internal/core holds the engine-independent LibASL logic
+// (epoch registry and AIMD reorder-window controller), internal/locks
+// holds real Go lock implementations including the reorderable lock and
+// ASLMutex, and internal/sim + internal/amp + internal/simlock form a
+// deterministic discrete-event AMP simulator used to regenerate the
+// paper's figures. See DESIGN.md for the full system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro
+
+// Version identifies this reproduction build.
+const Version = "1.0.0"

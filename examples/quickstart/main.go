@@ -1,0 +1,74 @@
+// Quickstart: the minimal LibASL usage pattern.
+//
+// Classify your workers (Big = latency-tolerant fast path, Little =
+// the workers you allow to be reordered), annotate the latency-
+// critical region as an epoch with an SLO, and use ASLMutex where you
+// would use a sync.Mutex. Big-class workers take the immediate FIFO
+// path; little-class workers become standby competitors whose reorder
+// window is tuned automatically so their P99 epoch latency stays at
+// the SLO.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/stats"
+)
+
+func main() {
+	mu := locks.NewASLMutexDefault()
+	var counter int64
+
+	const (
+		epochID = 0
+		slo     = int64(200 * time.Microsecond)
+		workers = 4
+		iters   = 5000
+	)
+
+	hist := make([]*stats.Histogram, 2*workers)
+	var wg sync.WaitGroup
+	for i := 0; i < 2*workers; i++ {
+		class := core.Big
+		if i >= workers {
+			class = core.Little
+		}
+		h := stats.NewHistogram()
+		hist[i] = h
+		wg.Add(1)
+		go func(class core.Class) {
+			defer wg.Done()
+			w := core.NewWorker(core.WorkerConfig{Class: class})
+			for j := 0; j < iters; j++ {
+				// The epoch marks the latency-critical region (paper
+				// Fig. 6); it may contain any number of lock
+				// acquisitions.
+				w.EpochStart(epochID)
+				mu.Lock(w)
+				counter++
+				mu.Unlock(w)
+				lat := w.EpochEnd(epochID, slo)
+				h.Record(lat)
+			}
+		}(class)
+	}
+	wg.Wait()
+
+	big, little := stats.NewHistogram(), stats.NewHistogram()
+	for i, h := range hist {
+		if i < workers {
+			big.Merge(h)
+		} else {
+			little.Merge(h)
+		}
+	}
+	fmt.Printf("counter        = %d (expected %d)\n", counter, 2*workers*iters)
+	fmt.Printf("big    P99     = %v\n", time.Duration(big.P99()))
+	fmt.Printf("little P99     = %v (SLO %v)\n", time.Duration(little.P99()), time.Duration(slo))
+}

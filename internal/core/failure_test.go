@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Failure-injection and misuse tests for the epoch machinery (§3.4
+// lists the misuse cases LibASL must survive).
+
+func TestNestedSLOInversionPrioritisesInner(t *testing.T) {
+	// "When the SLO of nested epochs are mistakenly set (outer epoch
+	// has a tighter SLO), LibASL always prioritises the inner epoch":
+	// the reorder window in force is always the innermost epoch's.
+	fc := &fakeClock{}
+	w := newTestWorker(Little, fc)
+	w.EpochStart(0) // outer (tight SLO — misconfigured)
+	w.EpochStart(1) // inner (loose SLO)
+	if got := w.ReorderWindow(); got != w.EpochWindow(1) {
+		t.Fatalf("window %d should come from the inner epoch (%d)", got, w.EpochWindow(1))
+	}
+	fc.now += 1000
+	w.EpochEnd(1, 1<<40) // inner compliant
+	fc.now += 1 << 30
+	w.EpochEnd(0, 1) // outer violated
+	// The outer violation must shrink only the outer epoch's window.
+	if w.EpochWindow(1) <= w.EpochWindow(0) {
+		t.Fatalf("inner window %d should exceed the violated outer's %d",
+			w.EpochWindow(1), w.EpochWindow(0))
+	}
+}
+
+func TestUnbalancedEpochEndIsHarmless(t *testing.T) {
+	// Ending an epoch that never started must not corrupt the stack
+	// (it reads a zero start timestamp, yielding a huge latency, which
+	// only shrinks that epoch's own window).
+	fc := &fakeClock{now: 1 << 20}
+	w := newTestWorker(Little, fc)
+	w.EpochEnd(3, 1000)
+	if w.InEpoch() {
+		t.Fatal("worker should not be inside an epoch")
+	}
+	// Subsequent normal use still works.
+	w.EpochStart(3)
+	fc.now += 10
+	if lat := w.EpochEnd(3, 1<<40); lat != 10 {
+		t.Fatalf("latency = %d, want 10", lat)
+	}
+}
+
+func TestDeeplyNestedEpochs(t *testing.T) {
+	fc := &fakeClock{}
+	w := newTestWorker(Little, fc)
+	const depth = 32
+	for i := 0; i < depth; i++ {
+		w.EpochStart(i)
+	}
+	for i := depth - 1; i >= 0; i-- {
+		if w.CurrentEpoch() != i {
+			t.Fatalf("current epoch = %d, want %d", w.CurrentEpoch(), i)
+		}
+		fc.now += 5
+		w.EpochEnd(i, 1<<40)
+	}
+	if w.InEpoch() {
+		t.Fatal("stack should be empty")
+	}
+}
+
+func TestRepeatedSameEpochID(t *testing.T) {
+	// Recursive nesting of the same id shares one controller; the
+	// stack must still unwind correctly.
+	fc := &fakeClock{}
+	w := newTestWorker(Little, fc)
+	w.EpochStart(7)
+	w.EpochStart(7)
+	fc.now += 100
+	w.EpochEnd(7, 1<<40)
+	if w.CurrentEpoch() != 7 {
+		t.Fatalf("current epoch = %d, want 7 (outer instance)", w.CurrentEpoch())
+	}
+	w.EpochEnd(7, 1<<40)
+	if w.InEpoch() {
+		t.Fatal("stack should be empty")
+	}
+}
+
+// TestQuickEpochStackInvariant: any interleave of starts and balanced
+// ends keeps the worker's epoch stack consistent.
+func TestQuickEpochStackInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		fc := &fakeClock{}
+		w := newTestWorker(Little, fc)
+		var stack []int
+		for _, op := range ops {
+			id := int(op % 8)
+			if op%3 == 0 && len(stack) > 0 {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				fc.now += int64(op)
+				w.EpochEnd(top, 1<<40)
+			} else {
+				stack = append(stack, id)
+				w.EpochStart(id)
+			}
+			// Invariant: the worker agrees with the model stack.
+			if len(stack) == 0 {
+				if w.InEpoch() {
+					return false
+				}
+			} else if w.CurrentEpoch() != stack[len(stack)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowNeverNegativeUnderAdversarialFeedback(t *testing.T) {
+	f := func(lat []uint32) bool {
+		a := NewAIMD(AIMDConfig{})
+		for _, l := range lat {
+			a.Observe(int64(l), int64(l%97)) // mostly violations
+			if a.Window() < 0 || a.Window() > DefaultMaxWindow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package dbbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/prng"
+	"repro/internal/workload"
+)
+
+// countingDB is a trivial engine for harness tests.
+type countingDB struct {
+	lock locks.WLock
+	n    int
+}
+
+func (d *countingDB) Name() string { return "counting" }
+func (d *countingDB) Do(w *core.Worker, rng prng.Source, op workload.OpKind) {
+	d.lock.Acquire(w)
+	d.n++
+	d.lock.Release(w)
+}
+
+func TestRunBasics(t *testing.T) {
+	db := &countingDB{lock: locks.Wrap(new(locks.BargingMutex))}
+	res := Run("counting", db, Config{
+		BigWorkers:    2,
+		LittleWorkers: 2,
+		Duration:      300 * time.Millisecond,
+		SLO:           int64(time.Millisecond),
+		Seed:          1,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if int(res.Ops) > db.n {
+		t.Fatalf("recorded %d ops but engine saw only %d", res.Ops, db.n)
+	}
+	if res.Summary.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if res.Overall.Count() != res.Ops {
+		t.Fatalf("overall histogram count %d != ops %d", res.Overall.Count(), res.Ops)
+	}
+	if res.Summary.LittleOps == 0 || res.Summary.BigOps == 0 {
+		t.Fatalf("both classes must progress: %+v", res.Summary)
+	}
+}
+
+func TestRunWithoutEpochs(t *testing.T) {
+	db := &countingDB{lock: locks.Wrap(new(locks.BargingMutex))}
+	res := Run("raw", db, Config{
+		BigWorkers:    1,
+		LittleWorkers: 1,
+		Duration:      200 * time.Millisecond,
+		SLO:           -1, // no epochs: plain latency measurement
+		Seed:          2,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+}
+
+func TestPadderScalesLittleOnly(t *testing.T) {
+	p := DefaultPadder()
+	big := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	little := core.NewWorker(core.WorkerConfig{Class: core.Little})
+	// Big: no extra work (returns immediately). Little: measurable.
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		p.CS(big, 1000)
+	}
+	bigT := time.Since(start)
+	start = time.Now()
+	for i := 0; i < 1000; i++ {
+		p.CS(little, 1000)
+	}
+	littleT := time.Since(start)
+	if littleT < bigT*2 {
+		t.Fatalf("padding should slow little workers: big %v little %v", bigT, littleT)
+	}
+}

@@ -1,0 +1,161 @@
+// Package dbs_test holds the cross-engine conformance tests: every
+// database engine must run correctly single-threaded and under
+// concurrent mixed-class workers with any lock of the evaluation.
+package dbs_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dbbench"
+	"repro/internal/dbs/kyoto"
+	"repro/internal/dbs/ldb"
+	"repro/internal/dbs/lmdbx"
+	"repro/internal/dbs/sqlike"
+	"repro/internal/dbs/upscale"
+	"repro/internal/locks"
+	"repro/internal/prng"
+	"repro/internal/workload"
+)
+
+// engines enumerates constructors for all five databases.
+func engines(f locks.Factory) map[string]dbbench.DB {
+	pad := dbbench.DefaultPadder()
+	return map[string]dbbench.DB{
+		"kyoto":     kyoto.New(f, pad, kyoto.Config{Slots: 4, KeySpace: 1 << 10}),
+		"upscaledb": upscale.New(f, pad, upscale.Config{KeySpace: 1 << 10}),
+		"lmdb":      lmdbx.New(f, pad, lmdbx.Config{KeySpace: 1 << 10}),
+		"leveldb":   ldb.New(f, pad, ldb.Config{KeySpace: 1 << 10, Populate: 256}),
+		"sqlite":    sqlike.New(f, pad, sqlike.Config{KeySpace: 1 << 10, Populate: 512}),
+	}
+}
+
+func TestEnginesSingleWorker(t *testing.T) {
+	for name, db := range engines(locks.FactoryMCS()) {
+		t.Run(name, func(t *testing.T) {
+			w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+			rng := prng.NewXoshiro256(5)
+			mix := workload.SQLiteMix()
+			if name != "sqlite" {
+				mix = workload.YCSBA()
+			}
+			for i := 0; i < 2000; i++ {
+				db.Do(w, rng, mix.Draw(rng.Uint64()))
+			}
+		})
+	}
+}
+
+func TestEnginesConcurrentMixedClasses(t *testing.T) {
+	factories := map[string]locks.Factory{
+		"pthread": locks.FactoryPthread(),
+		"mcs":     locks.FactoryMCS(),
+		"asl":     locks.FactoryASL(),
+	}
+	iters := 1500
+	if runtime.NumCPU() < 4 {
+		iters = 400
+	}
+	for fname, f := range factories {
+		for name, db := range engines(f) {
+			t.Run(fname+"/"+name, func(t *testing.T) {
+				var wg sync.WaitGroup
+				for i := 0; i < 4; i++ {
+					class := core.Big
+					if i >= 2 {
+						class = core.Little
+					}
+					wg.Add(1)
+					go func(id int, class core.Class) {
+						defer wg.Done()
+						w := core.NewWorker(core.WorkerConfig{Class: class})
+						rng := prng.NewXoshiro256(uint64(id) + 11)
+						mix := workload.SQLiteMix()
+						if name != "sqlite" {
+							mix = workload.YCSBA()
+						}
+						for j := 0; j < iters; j++ {
+							w.EpochStart(0)
+							db.Do(w, rng, mix.Draw(rng.Uint64()))
+							w.EpochEnd(0, int64(time.Millisecond))
+						}
+					}(i, class)
+				}
+				done := make(chan struct{})
+				go func() { wg.Wait(); close(done) }()
+				select {
+				case <-done:
+				case <-time.After(120 * time.Second):
+					t.Fatal("engine hung under concurrency")
+				}
+			})
+		}
+	}
+}
+
+func TestKyotoDataSurvives(t *testing.T) {
+	db := kyoto.New(locks.FactoryMCS(), dbbench.DefaultPadder(), kyoto.Config{KeySpace: 512})
+	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	rng := prng.NewXoshiro256(1)
+	for i := 0; i < 3000; i++ {
+		db.Do(w, rng, workload.OpPut)
+	}
+	if db.Len() == 0 || db.Len() > 512 {
+		t.Fatalf("table len = %d, want in (0, 512]", db.Len())
+	}
+}
+
+func TestUpscaleDataSurvives(t *testing.T) {
+	db := upscale.New(locks.FactoryMCS(), dbbench.DefaultPadder(), upscale.Config{KeySpace: 512})
+	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	rng := prng.NewXoshiro256(1)
+	for i := 0; i < 3000; i++ {
+		db.Do(w, rng, workload.OpPut)
+	}
+	if db.Len() == 0 || db.Len() > 512 {
+		t.Fatalf("tree len = %d", db.Len())
+	}
+}
+
+func TestLMDBReadersDontBlockWriters(t *testing.T) {
+	// With MVCC, a reader in its lock-free section must not prevent a
+	// writer from committing (the writer lock is independent).
+	db := lmdbx.New(locks.FactoryMCS(), dbbench.DefaultPadder(), lmdbx.Config{KeySpace: 128})
+	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	rng := prng.NewXoshiro256(2)
+	for i := 0; i < 500; i++ {
+		db.Do(w, rng, workload.OpPut)
+		db.Do(w, rng, workload.OpGet)
+	}
+	if db.Len() == 0 {
+		t.Fatal("no writes landed")
+	}
+}
+
+func TestLevelDBSnapshotRefsBalanced(t *testing.T) {
+	db := ldb.New(locks.FactoryMCS(), dbbench.DefaultPadder(), ldb.Config{KeySpace: 256, Populate: 64})
+	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	rng := prng.NewXoshiro256(3)
+	for i := 0; i < 2000; i++ {
+		db.Do(w, rng, workload.OpGet)
+	}
+	if db.Refs() != 0 {
+		t.Fatalf("leaked %d version refs", db.Refs())
+	}
+}
+
+func TestSQLiteRowsGrow(t *testing.T) {
+	db := sqlike.New(locks.FactoryMCS(), dbbench.DefaultPadder(), sqlike.Config{KeySpace: 256, Populate: 100})
+	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	rng := prng.NewXoshiro256(4)
+	before := db.Rows()
+	for i := 0; i < 300; i++ {
+		db.Do(w, rng, workload.OpInsert)
+	}
+	if db.Rows() != before+300 {
+		t.Fatalf("rows = %d, want %d", db.Rows(), before+300)
+	}
+}

@@ -1,0 +1,96 @@
+// Package kyoto is the Kyoto-Cabinet-like in-memory KV engine of the
+// paper's evaluation (Table 1, row 1): a hash table whose lock topology
+// is a slot-level lock per hash partition plus a method lock taken by
+// every operation. The benchmark runs 50% Put / 50% Get.
+package kyoto
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/dbbench"
+	"repro/internal/locks"
+	"repro/internal/prng"
+	"repro/internal/storage/hashkv"
+	"repro/internal/workload"
+)
+
+// DB is the engine. Construct with New.
+type DB struct {
+	table      *hashkv.Table
+	slotLocks  []locks.WLock
+	methodLock locks.WLock
+	pad        dbbench.Padder
+	keySpace   uint64
+	// opUnits approximates one operation's critical-section work in
+	// spin units; the padder scales it for little-class workers.
+	opUnits int64
+}
+
+// Config parameterises the engine.
+type Config struct {
+	Slots    int    // lockable partitions; 0 means 16
+	Buckets  int    // buckets per slot; 0 means 1024
+	KeySpace uint64 // key range; 0 means 1 << 16
+	OpUnits  int64  // CS padding base; 0 means 400
+}
+
+// New builds the engine with every lock drawn from factory.
+func New(factory locks.Factory, pad dbbench.Padder, cfg Config) *DB {
+	if cfg.Slots == 0 {
+		cfg.Slots = 16
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 1024
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1 << 16
+	}
+	if cfg.OpUnits == 0 {
+		cfg.OpUnits = 400
+	}
+	db := &DB{
+		table:      hashkv.New(cfg.Slots, cfg.Buckets),
+		methodLock: factory(),
+		pad:        pad,
+		keySpace:   cfg.KeySpace,
+		opUnits:    cfg.OpUnits,
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		db.slotLocks = append(db.slotLocks, factory())
+	}
+	return db
+}
+
+// Name implements dbbench.DB.
+func (d *DB) Name() string { return "kyoto" }
+
+// Do implements dbbench.DB: one Put or Get under the method lock and
+// the key's slot lock.
+func (d *DB) Do(w *core.Worker, rng prng.Source, op workload.OpKind) {
+	k := prng.Uint64n(rng, d.keySpace)
+	// Kyoto's method lock is a reader-writer lock taken in shared mode
+	// by Put/Get; with mutexes only, we model the shared acquisition as
+	// a brief critical section (bookkeeping), not held across the op.
+	d.methodLock.Acquire(w)
+	d.pad.CS(w, d.opUnits/8)
+	d.methodLock.Release(w)
+
+	sl := d.slotLocks[d.table.SlotOf(k)]
+	sl.Acquire(w)
+	switch op {
+	case workload.OpGet:
+		_, _ = d.table.Get(k)
+		d.pad.CS(w, d.opUnits/2) // gets are cheaper than puts
+	default:
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], k)
+		binary.LittleEndian.PutUint64(buf[8:], rng.Uint64())
+		d.table.Put(k, buf[:])
+		d.pad.CS(w, d.opUnits)
+	}
+	sl.Release(w)
+}
+
+// Len exposes the table size for tests.
+func (d *DB) Len() int { return d.table.Len() }

@@ -1,0 +1,97 @@
+// Package ldb is the LevelDB-like engine (paper Table 1, row 4). The
+// paper uses db_bench's randomread: every Get "acquires a global lock
+// to take a snapshot of internal database structures", reads without
+// the lock, then unrefs the snapshot. The store is a mini LSM
+// (memtable + immutable runs + refcounted versions).
+package ldb
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/dbbench"
+	"repro/internal/locks"
+	"repro/internal/prng"
+	"repro/internal/storage/lsm"
+	"repro/internal/workload"
+)
+
+// DB is the engine. Construct with New.
+type DB struct {
+	store    *lsm.Store
+	metaLock locks.WLock
+	pad      dbbench.Padder
+	keySpace uint64
+	opUnits  int64
+}
+
+// Config parameterises the engine.
+type Config struct {
+	KeySpace uint64 // 0 means 1 << 16
+	OpUnits  int64  // 0 means 350
+	Populate int    // initial keys; 0 means KeySpace/2
+}
+
+// New builds the engine and pre-populates it (randomread needs data).
+func New(factory locks.Factory, pad dbbench.Padder, cfg Config) *DB {
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1 << 16
+	}
+	if cfg.OpUnits == 0 {
+		cfg.OpUnits = 350
+	}
+	if cfg.Populate == 0 {
+		cfg.Populate = int(cfg.KeySpace / 2)
+	}
+	db := &DB{
+		store:    lsm.New(0xdb),
+		metaLock: factory(),
+		pad:      pad,
+		keySpace: cfg.KeySpace,
+		opUnits:  cfg.OpUnits,
+	}
+	rng := prng.NewXoshiro256(0x1db)
+	var buf [16]byte
+	for i := 0; i < cfg.Populate; i++ {
+		k := prng.Uint64n(rng, cfg.KeySpace)
+		binary.LittleEndian.PutUint64(buf[:8], k)
+		db.store.Put(k, append([]byte(nil), buf[:]...))
+	}
+	return db
+}
+
+// Name implements dbbench.DB.
+func (d *DB) Name() string { return "leveldb" }
+
+// Do implements dbbench.DB. Writes also go through the metadata lock
+// (LevelDB's mutex protects the memtable switch); the paper's workload
+// is read-only, but supporting puts keeps the engine complete.
+func (d *DB) Do(w *core.Worker, rng prng.Source, op workload.OpKind) {
+	k := prng.Uint64n(rng, d.keySpace)
+	switch op {
+	case workload.OpPut, workload.OpInsert:
+		d.metaLock.Acquire(w)
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], k)
+		d.store.Put(k, append([]byte(nil), buf[:]...))
+		d.pad.CS(w, d.opUnits)
+		d.metaLock.Release(w)
+	default: // randomread
+		// Take the snapshot under the global mutex (the contended
+		// critical section of Fig. 10a).
+		d.metaLock.Acquire(w)
+		v := d.store.Acquire()
+		d.pad.CS(w, d.opUnits/3)
+		d.metaLock.Release(w)
+
+		_, _ = v.Get(k)
+		d.pad.NCS(w, d.opUnits)
+
+		d.metaLock.Acquire(w)
+		d.store.Release(v)
+		d.metaLock.Release(w)
+	}
+}
+
+// Refs exposes the current version refcount (tests).
+func (d *DB) Refs() int { return d.store.Refs() }

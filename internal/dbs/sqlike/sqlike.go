@@ -1,0 +1,178 @@
+// Package sqlike is the SQLite-like relational engine (paper Table 1,
+// row 5). SQLite serialises writers through a database-level lock
+// state machine (UNLOCKED → SHARED → RESERVED → EXCLUSIVE); the paper
+// protects that state machine with the lock under test and runs a
+// DEFERRED transaction of 1/3 inserts, 1/3 simple (indexed point)
+// selects and 1/3 complex (range with non-indexed filter) selects,
+// plus an extremely long full-table scan every 1000 executions.
+package sqlike
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dbbench"
+	"repro/internal/locks"
+	"repro/internal/prng"
+	"repro/internal/storage/btree"
+	"repro/internal/workload"
+)
+
+// Lock states of the SQLite file-locking protocol.
+const (
+	stateUnlocked = iota
+	stateShared
+	stateReserved
+	stateExclusive
+)
+
+// row is one table row: an indexed column (the key), a second indexed
+// column and a non-indexed payload column used by the complex query's
+// filter.
+type row struct {
+	indexed uint64
+	filter  uint64
+}
+
+// DB is the engine. Construct with New.
+type DB struct {
+	// stateLock guards the lock-state machine; every transaction
+	// transitions through it (the contended lock of Fig. 10d).
+	stateLock locks.WLock
+	// metaLock guards schema/metadata lookups at statement start.
+	metaLock locks.WLock
+
+	primary   *btree.Tree // rowid -> encoded row
+	secondary *btree.Tree // indexed column -> rowid
+	state     int
+	nextRowID uint64
+
+	pad       dbbench.Padder
+	keySpace  uint64
+	opUnits   int64
+	scanEvery int
+	// opCount counts operations per DB to trigger the periodic scan.
+	opCount atomic.Uint64
+}
+
+// Config parameterises the engine.
+type Config struct {
+	KeySpace  uint64 // 0 means 1 << 14 (the paper scans a 100k table)
+	OpUnits   int64  // 0 means 500
+	ScanEvery int    // full scan period in ops; 0 means 1000
+	Populate  int    // initial rows; 0 means 20000
+}
+
+// New builds the engine with locks drawn from factory.
+func New(factory locks.Factory, pad dbbench.Padder, cfg Config) *DB {
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1 << 14
+	}
+	if cfg.OpUnits == 0 {
+		cfg.OpUnits = 500
+	}
+	if cfg.ScanEvery == 0 {
+		cfg.ScanEvery = 1000
+	}
+	if cfg.Populate == 0 {
+		cfg.Populate = 20000
+	}
+	db := &DB{
+		stateLock: factory(),
+		metaLock:  factory(),
+		primary:   btree.New(),
+		secondary: btree.New(),
+		pad:       pad,
+		keySpace:  cfg.KeySpace,
+		opUnits:   cfg.OpUnits,
+		scanEvery: cfg.ScanEvery,
+	}
+	rng := prng.NewXoshiro256(0x50f7)
+	for i := 0; i < cfg.Populate; i++ {
+		db.insertRow(prng.Uint64n(rng, cfg.KeySpace), rng.Uint64())
+	}
+	return db
+}
+
+// insertRow adds a row without locking (setup and EXCLUSIVE paths).
+func (d *DB) insertRow(indexed, filter uint64) {
+	id := d.nextRowID
+	d.nextRowID++
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], indexed)
+	binary.LittleEndian.PutUint64(buf[8:], filter)
+	d.primary.Put(id, append([]byte(nil), buf[:]...))
+	d.secondary.Put(indexed<<20|id&((1<<20)-1), buf[:8])
+}
+
+// Name implements dbbench.DB.
+func (d *DB) Name() string { return "sqlite" }
+
+// Do implements dbbench.DB: one DEFERRED transaction. The whole
+// transaction holds the state-machine lock — SQLite's database-level
+// locking admits a single writer and, in the paper's shared-connection
+// setup, serialises transactions on this lock; the state transitions
+// inside model the DEFERRED escalation (SHARED → RESERVED →
+// EXCLUSIVE), whose extra steps make writes cost more than reads.
+func (d *DB) Do(w *core.Worker, rng prng.Source, op workload.OpKind) {
+	// Statement compilation consults the schema under the metadata
+	// lock (brief).
+	d.metaLock.Acquire(w)
+	d.pad.CS(w, d.opUnits/16)
+	d.metaLock.Release(w)
+
+	if n := d.opCount.Add(1); d.scanEvery > 0 && n%uint64(d.scanEvery) == 0 {
+		op = workload.OpFullScan
+	}
+
+	k := prng.Uint64n(rng, d.keySpace)
+	d.stateLock.Acquire(w)
+	switch op {
+	case workload.OpInsert:
+		// DEFERRED write: SHARED on first read, RESERVED on first
+		// write, EXCLUSIVE to commit.
+		d.transition(w, stateShared)
+		d.transition(w, stateReserved)
+		d.transition(w, stateExclusive)
+		d.insertRow(k, rng.Uint64())
+		d.pad.CS(w, d.opUnits)
+		d.transition(w, stateUnlocked)
+	case workload.OpPointSelect:
+		d.transition(w, stateShared)
+		d.secondary.Range(k<<20, (k+1)<<20-1, func(_ uint64, _ []byte) bool { return false })
+		d.pad.CS(w, d.opUnits/4)
+		d.transition(w, stateUnlocked)
+	case workload.OpFullScan:
+		d.transition(w, stateShared)
+		n := 0
+		d.primary.Scan(func(_ uint64, v []byte) bool {
+			n++
+			return true
+		})
+		d.pad.CS(w, d.opUnits*8)
+		d.transition(w, stateUnlocked)
+	default: // complex range select with non-indexed filter
+		d.transition(w, stateShared)
+		matched := 0
+		d.secondary.Range(k<<20, (k+64)<<20, func(_ uint64, v []byte) bool {
+			// Filter on the non-indexed column via the stored row.
+			if len(v) >= 8 && binary.LittleEndian.Uint64(v)%7 == 0 {
+				matched++
+			}
+			return true
+		})
+		d.pad.CS(w, d.opUnits/2)
+		d.transition(w, stateUnlocked)
+	}
+	d.stateLock.Release(w)
+}
+
+// transition moves the database lock state machine (stateLock held).
+func (d *DB) transition(w *core.Worker, to int) {
+	d.state = to
+	d.pad.CS(w, d.opUnits/8)
+}
+
+// Rows exposes the table size for tests.
+func (d *DB) Rows() int { return d.primary.Len() }

@@ -1,0 +1,107 @@
+// Package upscale is the upscaledb-like on-disk-style KV engine
+// (paper Table 1, row 2): a B+ tree guarded by one global lock, plus a
+// worker-pool lock that every request takes to check a cursor out of a
+// freelist and back in. The benchmark runs 50% Put / 50% Get; in the
+// paper this is the workload where the TAS lock shows big-core
+// affinity (Fig. 9d).
+package upscale
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/dbbench"
+	"repro/internal/locks"
+	"repro/internal/prng"
+	"repro/internal/storage/btree"
+	"repro/internal/workload"
+)
+
+// cursor is a pooled per-request handle, as upscaledb allocates from
+// its environment under a lock.
+type cursor struct {
+	scratch [32]byte
+}
+
+// DB is the engine. Construct with New.
+type DB struct {
+	tree     *btree.Tree
+	global   locks.WLock
+	poolLock locks.WLock
+	freelist []*cursor
+	pad      dbbench.Padder
+	keySpace uint64
+	opUnits  int64
+}
+
+// Config parameterises the engine.
+type Config struct {
+	KeySpace uint64 // 0 means 1 << 16
+	OpUnits  int64  // 0 means 600
+	Cursors  int    // freelist depth; 0 means 64
+}
+
+// New builds the engine with locks drawn from factory.
+func New(factory locks.Factory, pad dbbench.Padder, cfg Config) *DB {
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = 1 << 16
+	}
+	if cfg.OpUnits == 0 {
+		cfg.OpUnits = 600
+	}
+	if cfg.Cursors == 0 {
+		cfg.Cursors = 64
+	}
+	db := &DB{
+		tree:     btree.New(),
+		global:   factory(),
+		poolLock: factory(),
+		pad:      pad,
+		keySpace: cfg.KeySpace,
+		opUnits:  cfg.OpUnits,
+	}
+	for i := 0; i < cfg.Cursors; i++ {
+		db.freelist = append(db.freelist, &cursor{})
+	}
+	return db
+}
+
+// Name implements dbbench.DB.
+func (d *DB) Name() string { return "upscaledb" }
+
+// Do implements dbbench.DB.
+func (d *DB) Do(w *core.Worker, rng prng.Source, op workload.OpKind) {
+	// Check a cursor out of the pool.
+	d.poolLock.Acquire(w)
+	var c *cursor
+	if n := len(d.freelist); n > 0 {
+		c = d.freelist[n-1]
+		d.freelist = d.freelist[:n-1]
+	} else {
+		c = &cursor{}
+	}
+	d.pad.CS(w, d.opUnits/16)
+	d.poolLock.Release(w)
+
+	k := prng.Uint64n(rng, d.keySpace)
+	d.global.Acquire(w)
+	switch op {
+	case workload.OpGet:
+		_, _ = d.tree.Get(k)
+		d.pad.CS(w, d.opUnits/2)
+	default:
+		binary.LittleEndian.PutUint64(c.scratch[:8], k)
+		binary.LittleEndian.PutUint64(c.scratch[8:16], rng.Uint64())
+		d.tree.Put(k, append([]byte(nil), c.scratch[:16]...))
+		d.pad.CS(w, d.opUnits)
+	}
+	d.global.Release(w)
+
+	// Return the cursor.
+	d.poolLock.Acquire(w)
+	d.freelist = append(d.freelist, c)
+	d.poolLock.Release(w)
+}
+
+// Len exposes the tree size for tests.
+func (d *DB) Len() int { return d.tree.Len() }

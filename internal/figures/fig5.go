@@ -1,0 +1,40 @@
+package figures
+
+import (
+	"repro/internal/harness"
+)
+
+// Fig5 reproduces Figure 5: proportional execution with proportion N =
+// 0..29 (big cores get N handovers per little handover) on the Bench-1
+// workload. Throughput and tail latency are mutually exclusive: larger
+// N buys throughput at the price of little-core latency, and no static
+// point adapts to an application's actual SLO — the motivation for
+// LibASL's dynamic ordering (§2.3).
+func Fig5() *harness.Figure {
+	f := &harness.Figure{
+		ID:     "fig5",
+		Title:  "Static proportions trade latency for throughput",
+		XLabel: "proportion N",
+		YLabel: "throughput(ops/s) / p99(ns)",
+	}
+	thr := harness.Series{Name: "throughput"}
+	lat := harness.Series{Name: "p99"}
+	pareto := harness.Series{Name: "latency-vs-throughput"}
+	for n := 0; n <= 29; n++ {
+		cfg := Bench1Config(KindSHFLPB, -1)
+		cfg.PBn = n
+		if n == 0 {
+			// N=0 degenerates to little-first; the paper's point 0 is
+			// the fair end of the spectrum, i.e. strict alternation.
+			cfg.PBn = 1
+		}
+		r := RunMicro(cfg)
+		p99 := float64(r.Epochs.Overall().P99())
+		thr.Add(float64(n), r.Throughput)
+		lat.Add(float64(n), p99)
+		pareto.Add(p99, r.Throughput)
+	}
+	f.Series = append(f.Series, thr, lat, pareto)
+	f.Note("paper: both throughput and P99 grow with N; no single N fits all SLOs")
+	return f
+}

@@ -1,0 +1,62 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/stats"
+)
+
+// platformImprovement measures LibASL-over-MCS on one platform and
+// database at reduced duration.
+func platformImprovement(t *testing.T, machine amp.Config, tpl DBTemplate) (float64, int64) {
+	t.Helper()
+	mcsCfg := DBConfig(tpl, KindMCS, -1, 91)
+	aslCfg := DBConfig(tpl, KindASL, tpl.CDFSLO, 91)
+	for _, c := range []*MicroConfig{&mcsCfg, &aslCfg} {
+		c.Machine = machine
+		c.Duration = 60_000_000
+		c.Warmup = 15_000_000
+	}
+	mcs := RunMicro(mcsCfg)
+	asl := RunMicro(aslCfg)
+	if mcs.Throughput == 0 {
+		t.Fatal("mcs run produced nothing")
+	}
+	return asl.Throughput/mcs.Throughput - 1, asl.Epochs.ByClass(stats.Little).P99()
+}
+
+func TestPlatformsImproveOverMCS(t *testing.T) {
+	// The §4.2 closing claim: LibASL improves on MCS on every AMP
+	// platform while holding the SLO. One representative database per
+	// platform keeps the test fast.
+	cases := []struct {
+		name    string
+		machine amp.Config
+		tpl     DBTemplate
+	}{
+		{"m1/upscaledb", M1Config(), UpscaleTemplate()},
+		{"hikey970/leveldb", HikeyConfig(), LevelDBTemplate()},
+		{"intel-dvfs/lmdb", IntelDVFSConfig(), LMDBTemplate()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			imp, littleP99 := platformImprovement(t, c.machine, c.tpl)
+			if imp < 0.15 {
+				t.Errorf("improvement = %.0f%%, want meaningful gain", imp*100)
+			}
+			if float64(littleP99) > float64(c.tpl.CDFSLO)*1.2 {
+				t.Errorf("little P99 %d breaks the %d SLO", littleP99, c.tpl.CDFSLO)
+			}
+		})
+	}
+}
+
+func TestFormatPlatformRows(t *testing.T) {
+	rows := []PlatformRow{{Platform: "m1", DB: "kyoto", MCS: 100, ASL: 150, Improvement: 0.5, SLO: 70_000}}
+	out := FormatPlatformRows(rows)
+	if !strings.Contains(out, "m1") || !strings.Contains(out, "kyoto") || !strings.Contains(out, "50%") {
+		t.Fatalf("format wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{Name: "x"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(3, 15)
+	if m := s.MaxY(); m != 20 {
+		t.Fatalf("MaxY = %v", m)
+	}
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Fatalf("YAt(2) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(99); ok {
+		t.Fatal("YAt on missing x should report false")
+	}
+}
+
+func TestSeriesMonotone(t *testing.T) {
+	up := Series{Points: []Point{{1, 10}, {2, 20}, {3, 30}}}
+	if !up.Monotone(0) {
+		t.Fatal("strictly increasing series must be monotone")
+	}
+	noisy := Series{Points: []Point{{1, 100}, {2, 98}, {3, 120}}}
+	if !noisy.Monotone(0.05) {
+		t.Fatal("2% dip within 5% tolerance must pass")
+	}
+	falling := Series{Points: []Point{{1, 100}, {2, 50}}}
+	if falling.Monotone(0.05) {
+		t.Fatal("50% drop must fail monotonicity")
+	}
+}
+
+func TestFigureRenderAndCSV(t *testing.T) {
+	f := &Figure{ID: "figX", Title: "test figure", XLabel: "x", YLabel: "y"}
+	f.Series = append(f.Series, Series{Name: "a", Points: []Point{{1, 2}}})
+	f.Note("hello %d", 42)
+	out := f.Render()
+	for _, want := range []string{"figX", "test figure", "a:", "hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "series,x,y\n") || !strings.Contains(csv, "a,1,2") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestFigureRowsCSV(t *testing.T) {
+	f := &Figure{ID: "figY"}
+	f.Rows = append(f.Rows, stats.Summary{Name: "mcs", Throughput: 123, BigP99: 1, LittleP99: 2, OverallP99: 3})
+	csv := f.CSV()
+	if !strings.Contains(csv, "mcs,123,1,2,3") {
+		t.Errorf("rows csv wrong:\n%s", csv)
+	}
+	if _, ok := f.FindRow("mcs"); !ok {
+		t.Fatal("FindRow failed")
+	}
+	if _, ok := f.FindRow("nope"); ok {
+		t.Fatal("FindRow found a ghost")
+	}
+}
+
+func TestCDFFigure(t *testing.T) {
+	overall, little := stats.NewHistogram(), stats.NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		overall.Record(i)
+		if i%2 == 0 {
+			little.Record(i)
+		}
+	}
+	f := CDFFigure("cdf", "t", 500, overall, little, 16)
+	ov, ok := f.FindSeries("overall")
+	if !ok || len(ov.Points) == 0 || len(ov.Points) > 16 {
+		t.Fatalf("overall CDF wrong: %d points", len(ov.Points))
+	}
+	if ov.Points[len(ov.Points)-1].Y != 1 {
+		t.Fatal("CDF must end at probability 1")
+	}
+	if _, ok := f.FindSeries("little"); !ok {
+		t.Fatal("missing little series")
+	}
+}
+
+func TestSortRowsByName(t *testing.T) {
+	f := &Figure{}
+	f.Rows = []stats.Summary{{Name: "z"}, {Name: "a"}, {Name: "m"}}
+	f.SortRowsByName()
+	if f.Rows[0].Name != "a" || f.Rows[2].Name != "z" {
+		t.Fatalf("rows not sorted: %v", f.Rows)
+	}
+}

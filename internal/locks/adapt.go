@@ -1,0 +1,93 @@
+package locks
+
+import "repro/internal/core"
+
+// WLock is a worker-aware lock: the acquire path may depend on the
+// worker's core class (ASLMutex, class-biased TAS, the proportional
+// lock), while plain locks ignore it. Database engines are written
+// against this interface so any lock of the evaluation can be injected
+// (paper §4.2 swaps the lock under five databases).
+type WLock interface {
+	Acquire(w *core.Worker)
+	Release(w *core.Worker)
+}
+
+// plainW adapts any sync.Locker-style lock.
+type plainW struct{ l Locker }
+
+func (p plainW) Acquire(w *core.Worker) { p.l.Lock() }
+func (p plainW) Release(w *core.Worker) { p.l.Unlock() }
+
+// Wrap adapts a class-oblivious lock to WLock.
+func Wrap(l Locker) WLock { return plainW{l} }
+
+// tasW routes through TAS.LockClass so the emulated atomic-success
+// bias applies.
+type tasW struct{ t *TAS }
+
+func (a tasW) Acquire(w *core.Worker) { a.t.LockClass(w.Class()) }
+func (a tasW) Release(w *core.Worker) { a.t.Unlock() }
+
+// WrapTAS adapts a TAS lock, honouring its affinity bias.
+func WrapTAS(t *TAS) WLock { return tasW{t} }
+
+// propW routes through Proportional.LockClass so the policy sees the
+// competitor's class.
+type propW struct{ p *Proportional }
+
+func (a propW) Acquire(w *core.Worker) { a.p.LockClass(w.Class()) }
+func (a propW) Release(w *core.Worker) { a.p.Unlock() }
+
+// WrapProportional adapts the proportional lock.
+func WrapProportional(p *Proportional) WLock { return propW{p} }
+
+// aslW is the ASLMutex view.
+type aslW struct{ m *ASLMutex }
+
+func (a aslW) Acquire(w *core.Worker) { a.m.Lock(w) }
+func (a aslW) Release(w *core.Worker) { a.m.Unlock(w) }
+
+// WrapASL adapts an ASLMutex.
+func WrapASL(m *ASLMutex) WLock { return aslW{m} }
+
+// Factory builds one lock instance per call; database engines call it
+// once per lock in their topology (Table 1: slot locks, method locks,
+// global locks, metadata locks...).
+type Factory func() WLock
+
+// Named lock factories covering the evaluation's comparison set.
+func FactoryPthread() Factory { return func() WLock { return Wrap(new(BargingMutex)) } }
+
+// FactoryTAS returns TAS locks with the given emulated affinity
+// (factor < 2 disables the bias).
+func FactoryTAS(favoured core.Class, factor uint) Factory {
+	return func() WLock {
+		t := new(TAS)
+		t.SetAffinity(favoured, factor)
+		return WrapTAS(t)
+	}
+}
+
+// FactoryTicket returns ticket locks.
+func FactoryTicket() Factory { return func() WLock { return Wrap(new(Ticket)) } }
+
+// FactoryMCS returns MCS locks.
+func FactoryMCS() Factory { return func() WLock { return Wrap(new(MCS)) } }
+
+// FactoryProportional returns SHFL-PBn-style locks.
+func FactoryProportional(n int) Factory {
+	return func() WLock { return WrapProportional(&Proportional{N: n}) }
+}
+
+// FactoryASL returns LibASL over MCS (the paper's default stack). The
+// returned locks share nothing; each epoch's window lives in the
+// worker, exactly as in the paper.
+func FactoryASL() Factory {
+	return func() WLock { return WrapASL(NewASLMutexDefault()) }
+}
+
+// FactoryASLBlocking returns the blocking LibASL used under
+// over-subscription: sleeping standby over the barging mutex.
+func FactoryASLBlocking() Factory {
+	return func() WLock { return WrapASL(NewASLMutex(new(BargingMutex), true)) }
+}

@@ -1,0 +1,94 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// clhNode is one CLH queue cell. A waiter spins on its predecessor's
+// cell, so the queue is implicit (each thread holds its own cell and
+// inherits the predecessor's for reuse — the classic CLH recycling).
+type clhNode struct {
+	_      pad
+	locked atomic.Bool
+	_      pad
+}
+
+// CLH is the Craig–Landin–Hagersten queue lock: FIFO like MCS but
+// spinning on the predecessor's node rather than the waiter's own.
+// The paper's related work builds hierarchical NUMA locks from it
+// (HCLH); here it serves as an alternative FIFO substrate for the
+// reorderable lock and as a baseline.
+type CLH struct {
+	_    pad
+	tail atomic.Pointer[clhNode]
+	_    pad
+	// holder state: the node we hold and the predecessor cell we will
+	// reuse for our next acquisition (single holder ⇒ race-free).
+	mine *clhNode
+	pool sync.Pool
+	once sync.Once
+}
+
+func (c *CLH) init() {
+	c.once.Do(func() {
+		// The queue starts with one unlocked sentinel.
+		s := &clhNode{}
+		c.tail.Store(s)
+	})
+}
+
+func (c *CLH) getNode() *clhNode {
+	if n, ok := c.pool.Get().(*clhNode); ok {
+		return n
+	}
+	return &clhNode{}
+}
+
+// Lock acquires in FIFO order.
+func (c *CLH) Lock() {
+	c.init()
+	n := c.getNode()
+	n.locked.Store(true)
+	prev := c.tail.Swap(n)
+	var s spinner
+	for prev.locked.Load() {
+		s.spin()
+	}
+	// We own the lock; prev is now free for recycling.
+	c.mine = n
+	c.pool.Put(prev)
+}
+
+// TryLock acquires iff the lock is free with no waiters.
+func (c *CLH) TryLock() bool {
+	c.init()
+	t := c.tail.Load()
+	if t.locked.Load() {
+		return false
+	}
+	n := c.getNode()
+	n.locked.Store(true)
+	if c.tail.CompareAndSwap(t, n) {
+		c.mine = n
+		c.pool.Put(t)
+		return true
+	}
+	c.pool.Put(n)
+	return false
+}
+
+// IsFree reports whether the lock looks free (tail unlocked).
+func (c *CLH) IsFree() bool {
+	c.init()
+	return !c.tail.Load().locked.Load()
+}
+
+// Unlock releases the lock. The holder slot is cleared before the
+// releasing store: the successor only writes its own slot after
+// observing that store, so the accesses are ordered.
+func (c *CLH) Unlock() {
+	n := c.mine
+	c.mine = nil
+	n.locked.Store(false)
+}

@@ -1,0 +1,130 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Cohort implements lock cohorting (Dice, Marathe, Shavit — the
+// paper's reference [38]): a global lock plus one local lock per
+// cohort. A releasing holder passes ownership of the global lock to a
+// cohort-mate if one is waiting (up to a batching budget), saving the
+// global handover. On NUMA the cohorts are nodes; the paper's "Target
+// systems" discussion proposes exactly this as LibASL's substrate for
+// future AMPs with large core counts — Reorderable accepts a Cohort as
+// its FIFO layer (it satisfies FIFOLock), giving "NUMA-locality in the
+// waiting queue, big-core priority on top".
+//
+// For the AMP build, the natural cohorts are the two core classes
+// (one cluster each on the M1), so NewCohortAMP sizes it at two.
+type Cohort struct {
+	global Ticket
+	locals []cohortLocal
+	// Budget bounds consecutive in-cohort handovers before the global
+	// lock is released (long-term fairness across cohorts). Zero
+	// means 32.
+	Budget int32
+}
+
+type cohortLocal struct {
+	_ pad
+	// lock is the local MCS-style lock members acquire first.
+	lock MCS
+	// ownsGlobal marks that the cohort currently holds the global
+	// lock, so a local successor may skip the global acquisition.
+	ownsGlobal atomic.Bool
+	// passes counts consecutive local handovers under one global hold.
+	passes atomic.Int32
+	// waiters counts members queued on the local lock.
+	waiters atomic.Int32
+	_       pad
+}
+
+// NewCohortAMP returns a two-cohort lock (one cohort per core class).
+func NewCohortAMP() *Cohort { return NewCohort(2) }
+
+// NewCohort returns a lock with n cohorts.
+func NewCohort(n int) *Cohort {
+	if n < 1 {
+		n = 1
+	}
+	return &Cohort{locals: make([]cohortLocal, n)}
+}
+
+func (c *Cohort) budget() int32 {
+	if c.Budget <= 0 {
+		return 32
+	}
+	return c.Budget
+}
+
+// LockCohort acquires as a member of cohort i.
+func (c *Cohort) LockCohort(i int) {
+	l := &c.locals[i%len(c.locals)]
+	l.waiters.Add(1)
+	l.lock.Lock()
+	l.waiters.Add(-1)
+	// Local lock held. If the cohort already owns the global lock the
+	// previous holder passed it to us; otherwise acquire it.
+	if l.ownsGlobal.Load() {
+		return
+	}
+	c.global.Lock()
+	l.ownsGlobal.Store(true)
+	l.passes.Store(0)
+}
+
+// UnlockCohort releases as a member of cohort i.
+func (c *Cohort) UnlockCohort(i int) {
+	l := &c.locals[i%len(c.locals)]
+	// Pass within the cohort when someone is waiting and the batching
+	// budget allows; otherwise release globally.
+	if l.waiters.Load() > 0 && l.passes.Add(1) < c.budget() {
+		l.lock.Unlock() // global ownership stays with the cohort
+		return
+	}
+	l.ownsGlobal.Store(false)
+	l.passes.Store(0)
+	c.global.Unlock()
+	l.lock.Unlock()
+}
+
+// Lock acquires as cohort 0 (plain Locker compatibility).
+func (c *Cohort) Lock() { c.LockCohort(0) }
+
+// Unlock releases as cohort 0.
+func (c *Cohort) Unlock() { c.UnlockCohort(0) }
+
+// TryLock acquires iff both levels are immediately available
+// (cohort 0).
+func (c *Cohort) TryLock() bool {
+	l := &c.locals[0]
+	if !l.lock.TryLock() {
+		return false
+	}
+	if l.ownsGlobal.Load() {
+		return true
+	}
+	if c.global.TryLock() {
+		l.ownsGlobal.Store(true)
+		l.passes.Store(0)
+		return true
+	}
+	l.lock.Unlock()
+	return false
+}
+
+// IsFree reports whether the global lock is free (approximation used
+// by standby competitors).
+func (c *Cohort) IsFree() bool { return c.global.IsFree() }
+
+// CohortW adapts the class-to-cohort mapping for WLock use: big cores
+// form cohort 0, little cores cohort 1 — each M1 cluster is a cohort.
+type cohortW struct{ c *Cohort }
+
+// WrapCohort adapts a Cohort so workers map to class cohorts.
+func WrapCohort(c *Cohort) WLock { return cohortW{c} }
+
+func (a cohortW) Acquire(w *core.Worker) { a.c.LockCohort(int(w.Class())) }
+func (a cohortW) Release(w *core.Worker) { a.c.UnlockCohort(int(w.Class())) }

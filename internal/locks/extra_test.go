@@ -1,0 +1,245 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func stressIters() int {
+	if runtime.NumCPU() < 4 {
+		return 2000
+	}
+	return 10000
+}
+
+func TestCLHMutualExclusion(t *testing.T) {
+	var l CLH
+	var counter int64
+	var wg sync.WaitGroup
+	iters := stressIters()
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != int64(6*iters) {
+		t.Fatalf("lost updates: %d", counter)
+	}
+	if !l.IsFree() {
+		t.Fatal("CLH should be free at rest")
+	}
+}
+
+func TestCLHTryLock(t *testing.T) {
+	var l CLH
+	if !l.TryLock() {
+		t.Fatal("TryLock on free CLH must succeed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held CLH must fail")
+	}
+	l.Unlock()
+	l.Lock()
+	l.Unlock()
+}
+
+func TestCLHUnderReorderable(t *testing.T) {
+	// CLH satisfies FIFOLock, so it can serve as the reorderable
+	// lock's substrate.
+	r := NewReorderable(new(CLH))
+	var counter int64
+	var wg sync.WaitGroup
+	iters := stressIters() / 2
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if id%2 == 0 {
+					r.LockImmediately()
+				} else {
+					r.LockReorder(1000)
+				}
+				counter++
+				r.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != int64(4*iters) {
+		t.Fatalf("lost updates: %d", counter)
+	}
+}
+
+func TestCohortMutualExclusion(t *testing.T) {
+	c := NewCohortAMP()
+	var counter int64
+	var wg sync.WaitGroup
+	iters := stressIters()
+	for w := 0; w < 6; w++ {
+		cohort := w % 2
+		wg.Add(1)
+		go func(cohort int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.LockCohort(cohort)
+				counter++
+				c.UnlockCohort(cohort)
+			}
+		}(cohort)
+	}
+	wg.Wait()
+	if counter != int64(6*iters) {
+		t.Fatalf("lost updates: %d", counter)
+	}
+}
+
+func TestCohortCrossCohortProgress(t *testing.T) {
+	// The batching budget must bound intra-cohort passing: a waiter in
+	// the other cohort eventually acquires.
+	c := NewCohort(2)
+	c.Budget = 4
+	stop := make(chan struct{})
+	var cohort1Acquired atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.LockCohort(0)
+				c.UnlockCohort(0)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.LockCohort(1)
+			cohort1Acquired.Add(1)
+			c.UnlockCohort(1)
+		}
+	}()
+	for i := 0; i < 20000 && cohort1Acquired.Load() < 50; i++ {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if cohort1Acquired.Load() < 50 {
+		t.Fatalf("cohort 1 starved: %d/50 acquisitions", cohort1Acquired.Load())
+	}
+}
+
+func TestCohortWrapClassMapping(t *testing.T) {
+	c := NewCohortAMP()
+	wl := WrapCohort(c)
+	big := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	little := core.NewWorker(core.WorkerConfig{Class: core.Little})
+	wl.Acquire(big)
+	wl.Release(big)
+	wl.Acquire(little)
+	wl.Release(little)
+}
+
+func TestCohortTryLock(t *testing.T) {
+	c := NewCohortAMP()
+	if !c.TryLock() {
+		t.Fatal("TryLock on free cohort lock must succeed")
+	}
+	if c.TryLock() {
+		t.Fatal("TryLock while held must fail")
+	}
+	c.Unlock()
+	c.Lock()
+	c.Unlock()
+}
+
+func TestFlatCombiningExecutesAll(t *testing.T) {
+	var f FlatCombining
+	var counter int64 // protected by the combiner's mutual exclusion
+	var wg sync.WaitGroup
+	iters := stressIters()
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f.Do(func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != int64(6*iters) {
+		t.Fatalf("lost updates: %d", counter)
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("publication list not drained: %d", f.Pending())
+	}
+}
+
+func TestFlatCombiningNoOverlap(t *testing.T) {
+	var f FlatCombining
+	var inside, overlaps atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				f.Do(func() {
+					if inside.Add(1) != 1 {
+						overlaps.Add(1)
+					}
+					inside.Add(-1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if overlaps.Load() != 0 {
+		t.Fatalf("%d overlapping executions", overlaps.Load())
+	}
+}
+
+func TestFlatCombiningSequentialResult(t *testing.T) {
+	// Delegated operations must appear atomic: build a sequence where
+	// each op reads-then-writes; any interleaving corrupts the chain.
+	var f FlatCombining
+	val := 0
+	var wg sync.WaitGroup
+	const per = 2000
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Do(func() {
+					v := val
+					v++
+					val = v
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if val != 4*per {
+		t.Fatalf("val = %d, want %d", val, 4*per)
+	}
+}

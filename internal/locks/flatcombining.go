@@ -1,0 +1,93 @@
+package locks
+
+import (
+	"sync/atomic"
+)
+
+// FlatCombining implements a delegation-style lock in the spirit of
+// Hendler, Incze, Shavit and Tzafrir (the paper's reference [47]):
+// threads publish their critical sections as closures; whoever wins
+// the combiner election executes a batch of pending requests on their
+// behalf, so the protected data never leaves one core's cache.
+//
+// §5 of the paper discusses delegation as the alternative to LibASL on
+// AMP: placing the combiner on a big core hides the little cores' weak
+// compute, but requires converting critical sections into closures —
+// exactly the API difference this type makes tangible (Do(fn) instead
+// of Lock/Unlock). The benchmarks compare both.
+//
+// This variant publishes one record per request into a Treiber-style
+// list that the combiner detaches wholesale, so the list never grows
+// beyond the requests currently in flight.
+type FlatCombining struct {
+	_    pad
+	lock TAS // combiner election
+	_    pad
+	head atomic.Pointer[fcRecord] // publication list (LIFO)
+	_    pad
+	// MaxBatch bounds how many detach-and-execute passes one combiner
+	// performs before handing off; zero means 8.
+	MaxBatch int
+}
+
+// fcRecord is one published request. fn is written before the record
+// is linked (the linking CAS publishes it); done is the response flag.
+type fcRecord struct {
+	_    pad
+	fn   func()
+	done atomic.Bool
+	next *fcRecord
+	_    pad
+}
+
+// Do executes fn under the lock's mutual exclusion, either directly
+// (as the combiner) or by delegation to the current combiner.
+func (f *FlatCombining) Do(fn func()) {
+	r := &fcRecord{fn: fn}
+	for {
+		old := f.head.Load()
+		r.next = old
+		if f.head.CompareAndSwap(old, r) {
+			break
+		}
+	}
+	var s spinner
+	for !r.done.Load() {
+		if f.lock.TryLock() {
+			f.combine()
+			f.lock.Unlock()
+			continue
+		}
+		s.spin()
+	}
+}
+
+// combine detaches and executes pending requests. Called with the
+// combiner lock held.
+func (f *FlatCombining) combine() {
+	batches := f.MaxBatch
+	if batches <= 0 {
+		batches = 8
+	}
+	for b := 0; b < batches; b++ {
+		list := f.head.Swap(nil)
+		if list == nil {
+			return
+		}
+		for r := list; r != nil; r = r.next {
+			r.fn()
+			r.fn = nil
+			r.done.Store(true)
+		}
+	}
+}
+
+// Pending reports the number of published, not-yet-detached requests
+// (diagnostics).
+func (f *FlatCombining) Pending() int {
+	n := 0
+	for r := f.head.Load(); r != nil; r = r.next {
+		n++
+	}
+	return n
+}

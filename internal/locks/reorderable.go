@@ -1,0 +1,148 @@
+package locks
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Reorderable is the paper's reorderable lock (Algorithm 1): a bounded
+// reorder capability layered on an unmodified FIFO lock.
+//
+//   - LockImmediately appends the caller to the FIFO queue right away.
+//   - LockReorder makes the caller a standby competitor: it polls the
+//     lock's free state with binary-exponential back-off for at most
+//     the given window, then enqueues. Competitors that arrive through
+//     LockImmediately during that window therefore overtake it —
+//     reordering bounded by the window.
+//
+// The underlying FIFO lock is not modified in any way; Unlock is a
+// direct pass-through, and TryLock remains available (§3.3: "Since the
+// reorderable lock is implemented atop of existing locks, both the
+// trylock and the nested locking are supported").
+type Reorderable struct {
+	fifo FIFOLock
+	// MaxWindow caps every reorder window, keeping the lock
+	// starvation-free (§3.2). Zero means core.DefaultMaxWindow.
+	MaxWindow int64
+	// Clock supplies nanosecond time; nil means a process-monotonic
+	// clock. Tests inject deterministic clocks here.
+	Clock core.Clock
+	// Sleeping selects the blocking flavour (footnote 3): standby
+	// competitors yield via nanosleep-style time.Sleep in a back-off
+	// manner instead of busy-waiting. Used for the over-subscription
+	// experiments (Bench-6) where busy-waiting wastes a co-located
+	// thread's CPU.
+	Sleeping bool
+}
+
+// NewReorderable wraps the given FIFO lock. MCS is the paper's default.
+func NewReorderable(fifo FIFOLock) *Reorderable {
+	return &Reorderable{fifo: fifo}
+}
+
+func (r *Reorderable) clock() core.Clock {
+	if r.Clock == nil {
+		r.Clock = core.NowFunc()
+	}
+	return r.Clock
+}
+
+func (r *Reorderable) maxWindow() int64 {
+	if r.MaxWindow <= 0 {
+		return core.DefaultMaxWindow
+	}
+	return r.MaxWindow
+}
+
+// LockImmediately enqueues on the FIFO lock right away (Algorithm 1,
+// lock_immediately). Big-core competitors use this path.
+func (r *Reorderable) LockImmediately() { r.fifo.Lock() }
+
+// LockReorder acquires the lock as a standby competitor with the given
+// reorder window in nanoseconds (Algorithm 1, lock_reorder). The window
+// is a hint, not a strict order constraint: when it expires the caller
+// simply enqueues like everyone else.
+func (r *Reorderable) LockReorder(windowNs int64) {
+	if maxW := r.maxWindow(); windowNs > maxW {
+		windowNs = maxW
+	}
+	if r.fifo.IsFree() {
+		r.fifo.Lock()
+		return
+	}
+	if windowNs > 0 {
+		if r.Sleeping {
+			r.standbySleeping(windowNs)
+		} else {
+			r.standbySpinning(windowNs)
+		}
+	}
+	r.fifo.Lock()
+}
+
+// standbySpinning is the busy-waiting standby loop of Algorithm 1
+// (lines 8–14): spin until the window ends, checking the lock's free
+// state at binary-exponentially spaced intervals to keep contention on
+// the lock word low.
+func (r *Reorderable) standbySpinning(windowNs int64) {
+	clock := r.clock()
+	windowEnd := clock() + windowNs
+	var cnt, nextCheck uint64 = 0, 1
+	var s spinner
+	for clock() < windowEnd {
+		cnt++
+		if cnt == nextCheck {
+			if r.fifo.IsFree() {
+				return
+			}
+			nextCheck <<= 1
+		}
+		s.spin()
+	}
+}
+
+// standbySleeping is the blocking flavour: the standby competitor
+// sleeps in exponentially growing slices instead of spinning, leaving
+// the CPU to co-located threads (Bench-6).
+func (r *Reorderable) standbySleeping(windowNs int64) {
+	clock := r.clock()
+	windowEnd := clock() + windowNs
+	const minSleep = int64(10 * time.Microsecond)
+	const maxSleep = int64(time.Millisecond)
+	d := minSleep
+	for {
+		now := clock()
+		if now >= windowEnd {
+			return
+		}
+		if r.fifo.IsFree() {
+			return
+		}
+		remaining := windowEnd - now
+		slice := d
+		if slice > remaining {
+			slice = remaining
+		}
+		time.Sleep(time.Duration(slice))
+		if d < maxSleep {
+			d <<= 1
+		}
+		runtime.Gosched()
+	}
+}
+
+// Lock acquires through the immediate path, making Reorderable a plain
+// sync.Locker for code that is not class-aware.
+func (r *Reorderable) Lock() { r.LockImmediately() }
+
+// TryLock acquires the underlying lock iff it is free.
+func (r *Reorderable) TryLock() bool { return r.fifo.TryLock() }
+
+// IsFree reports whether the underlying lock is free.
+func (r *Reorderable) IsFree() bool { return r.fifo.IsFree() }
+
+// Unlock releases via the unmodified FIFO unlock (Algorithm 1,
+// unlock_fifo pass-through).
+func (r *Reorderable) Unlock() { r.fifo.Unlock() }

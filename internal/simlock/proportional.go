@@ -1,0 +1,83 @@
+package simlock
+
+import (
+	"repro/internal/amp"
+	"repro/internal/core"
+)
+
+// SimProportional models the paper's SHFL-PBn comparison point: a
+// ShflLock driven by a proportional-based static policy. Waiters are
+// segregated by core class and the release path admits exactly one
+// little-core competitor after every N big-core handovers (§4,
+// Evaluation Setup). Fig. 5 sweeps N.
+type SimProportional struct {
+	// N is the proportion (big handovers per little handover); zero
+	// means 10 (SHFL-PB10).
+	N int
+	// Xfer configures the ownership-transfer costs.
+	Xfer xfer
+	// ShuffleOverhead is charged per contended handover for the
+	// ShflLock shuffler's queue walk (the real lock reorders waiter
+	// nodes in the MCS queue while they wait); zero means 120 ns.
+	ShuffleOverhead int64
+
+	holder      *amp.Thread
+	bigQ        queue
+	littleQ     queue
+	sinceLittle int
+}
+
+func (m *SimProportional) n() int {
+	if m.N <= 0 {
+		return 10
+	}
+	return m.N
+}
+
+// Lock acquires the lock; waiters queue per class.
+func (m *SimProportional) Lock(t *amp.Thread) {
+	if m.holder == nil && m.bigQ.empty() && m.littleQ.empty() {
+		m.holder = t
+		m.Xfer.note(t)
+		return
+	}
+	if t.Class() == core.Big {
+		m.bigQ.push(t)
+	} else {
+		m.littleQ.push(t)
+	}
+	t.Proc().Suspend()
+}
+
+// Unlock hands the lock over per the proportional policy.
+func (m *SimProportional) Unlock(t *amp.Thread) {
+	if m.holder != t {
+		panic("simlock: SimProportional unlock by non-holder")
+	}
+	var next *amp.Thread
+	switch {
+	case m.sinceLittle >= m.n() && !m.littleQ.empty():
+		next = m.littleQ.pop()
+		m.sinceLittle = 0
+	case !m.bigQ.empty():
+		next = m.bigQ.pop()
+		m.sinceLittle++
+	case !m.littleQ.empty():
+		next = m.littleQ.pop()
+		m.sinceLittle = 0
+	default:
+		m.holder = nil
+		return
+	}
+	m.holder = next
+	shuffle := m.ShuffleOverhead
+	if shuffle == 0 {
+		shuffle = 120
+	}
+	next.Proc().Resume(m.Xfer.cost(next.Class()) + shuffle)
+}
+
+// IsFree reports whether the lock is free with no waiters.
+func (m *SimProportional) IsFree() bool {
+	return m.holder == nil && m.bigQ.empty() && m.littleQ.empty()
+}

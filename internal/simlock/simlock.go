@@ -1,0 +1,56 @@
+// Package simlock implements the paper's locks inside the discrete-
+// event AMP model of internal/amp. Each lock mirrors its real
+// counterpart in internal/locks, but contention, arbitration and
+// handover are modelled explicitly, which is what lets the simulator
+// reproduce the collapse phenomena of §2.2 on symmetric host hardware:
+//
+//   - SimMCS / SimTicket: strict FIFO handover (acquisition fairness)
+//   - SimTAS: atomic-operation arbitration with a configurable
+//     class-weighted success rate (the paper's little-/big-affinity)
+//   - SimBarging: futex-style unfair blocking mutex (pthread stand-in)
+//   - SimMCSPark: FIFO with parked waiters (MCS-STP)
+//   - SimProportional: ShflLock with the proportional static policy
+//   - SimReorderable / SimASL: the paper's Algorithms 1 and 3, reusing
+//     the very same feedback controller (internal/core) as the real
+//     library
+//
+// All lock state is mutated in kernel context only (the sim kernel runs
+// one goroutine at a time), so no atomics are needed; determinism comes
+// from the kernel's total event order plus seeded PRNGs.
+package simlock
+
+import (
+	"repro/internal/amp"
+)
+
+// Lock is a simulated lock usable by class-aware harness code.
+type Lock interface {
+	// Lock acquires on behalf of thread t, blocking (in virtual time)
+	// until granted.
+	Lock(t *amp.Thread)
+	// Unlock releases; t must be the current holder.
+	Unlock(t *amp.Thread)
+}
+
+// FIFO is a simulated lock with arrival-order admission that can report
+// whether it is free; the reorderable lock builds on it, mirroring
+// locks.FIFOLock.
+type FIFO interface {
+	Lock
+	IsFree() bool
+}
+
+// queue is a FIFO of waiting threads (spin-style waiters: their procs
+// suspend while still occupying their core, exactly like spinning).
+type queue struct {
+	ts []*amp.Thread
+}
+
+func (q *queue) push(t *amp.Thread) { q.ts = append(q.ts, t) }
+func (q *queue) pop() *amp.Thread {
+	t := q.ts[0]
+	q.ts = q.ts[1:]
+	return t
+}
+func (q *queue) len() int    { return len(q.ts) }
+func (q *queue) empty() bool { return len(q.ts) == 0 }

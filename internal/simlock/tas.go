@@ -1,0 +1,104 @@
+package simlock
+
+import (
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/prng"
+)
+
+// Affinity describes the asymmetric atomic-operation success rate of a
+// TAS lock on AMP hardware (§2.2: "the success rate of atomic
+// operations is asymmetric"). When several spinners race for a
+// released lock, a competitor of the favoured class is Factor times
+// more likely to win than one of the other class. Factor <= 1 or a
+// zero value means symmetric arbitration.
+type Affinity struct {
+	Favoured core.Class
+	Factor   float64
+}
+
+// weight returns the arbitration weight for class c.
+func (a Affinity) weight(c core.Class) float64 {
+	if a.Factor <= 1 {
+		return 1
+	}
+	if c == a.Favoured {
+		return a.Factor
+	}
+	return 1
+}
+
+// SimTAS models a test-and-set spinlock. Ownership of a released,
+// contended lock goes to a weighted-random spinner — the weights encode
+// the hardware affinity regime (little-core-affinity in Fig. 1,
+// big-core-affinity in Fig. 4). A thread arriving at a free lock takes
+// it immediately (barging), like a real TAS.
+type SimTAS struct {
+	// Aff configures the arbitration bias.
+	Aff Affinity
+	// Xfer configures the ownership-transfer costs.
+	Xfer xfer
+	// Seed seeds the arbitration PRNG (set before first use).
+	Seed uint64
+
+	rng      *prng.SplitMix64
+	held     bool
+	spinners []*amp.Thread
+}
+
+func (m *SimTAS) rand() *prng.SplitMix64 {
+	if m.rng == nil {
+		m.rng = prng.NewSplitMix64(m.Seed ^ 0xa5a5_5a5a_dead_beef)
+	}
+	return m.rng
+}
+
+// Lock acquires the lock, spinning (in virtual time) if held.
+func (m *SimTAS) Lock(t *amp.Thread) {
+	if !m.held {
+		m.held = true
+		m.Xfer.note(t)
+		return
+	}
+	m.spinners = append(m.spinners, t)
+	t.Proc().Suspend() // resumed as owner by Unlock's arbitration
+}
+
+// Unlock releases the lock; if spinners exist, one wins the race
+// according to the affinity weights and becomes the holder.
+func (m *SimTAS) Unlock(t *amp.Thread) {
+	if !m.held {
+		panic("simlock: SimTAS unlock while free")
+	}
+	if len(m.spinners) == 0 {
+		m.held = false
+		return
+	}
+	idx := m.arbitrate()
+	w := m.spinners[idx]
+	m.spinners = append(m.spinners[:idx], m.spinners[idx+1:]...)
+	// Lock stays held; ownership transfers to the winner.
+	w.Proc().Resume(m.Xfer.cost(w.Class()))
+}
+
+// arbitrate picks the index of the winning spinner by weighted draw.
+func (m *SimTAS) arbitrate() int {
+	if len(m.spinners) == 1 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range m.spinners {
+		total += m.Aff.weight(s.Class())
+	}
+	r := prng.Float64(m.rand()) * total
+	for i, s := range m.spinners {
+		r -= m.Aff.weight(s.Class())
+		if r < 0 {
+			return i
+		}
+	}
+	return len(m.spinners) - 1
+}
+
+// IsFree reports whether the lock is free.
+func (m *SimTAS) IsFree() bool { return !m.held }

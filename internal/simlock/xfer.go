@@ -1,0 +1,50 @@
+package simlock
+
+import (
+	"repro/internal/amp"
+	"repro/internal/core"
+)
+
+// xfer models lock-ownership transfer cost. On cluster-based AMPs
+// (M1, DynamIQ) each class has its own L2, so moving the lock word and
+// the protected cache lines across clusters costs far more than a
+// handover inside one cluster. This asymmetry is what gives class-
+// batching orderings (LibASL's big-core runs) their cache-locality
+// edge over policies that interleave classes (§4.1: LibASL "has a
+// better cache locality by batching more big cores before passing to
+// little cores").
+type xfer struct {
+	// Same and Cross are the intra-/inter-cluster transfer costs in
+	// ns; zero values mean 60 and 300.
+	Same, Cross int64
+
+	last   core.Class
+	inited bool
+}
+
+// cost returns the transfer cost for handing the lock to next and
+// records next as the new holder class.
+func (x *xfer) cost(next core.Class) int64 {
+	same, cross := x.Same, x.Cross
+	if same == 0 {
+		same = 60
+	}
+	if cross == 0 {
+		cross = 300
+	}
+	c := same
+	if x.inited && next != x.last {
+		c = cross
+	}
+	x.last = next
+	x.inited = true
+	return c
+}
+
+// note records the holder class without charging (for uncontended
+// acquisitions, where the transfer happens off the critical path of
+// any waiter).
+func (x *xfer) note(t *amp.Thread) {
+	x.last = t.Class()
+	x.inited = true
+}

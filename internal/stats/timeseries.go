@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sample is one time-stamped observation, used for the adaptivity trace
+// of Fig. 8d (per-epoch latency over wall time, split by core class).
+type Sample struct {
+	Time  int64 // ns since experiment start
+	Value int64 // ns latency
+	Class Class
+}
+
+// TimeSeries records time-stamped samples. It is not safe for
+// concurrent use; workers keep their own series and the harness merges.
+type TimeSeries struct {
+	samples []Sample
+}
+
+// NewTimeSeries returns an empty series with the given capacity hint.
+func NewTimeSeries(capHint int) *TimeSeries {
+	return &TimeSeries{samples: make([]Sample, 0, capHint)}
+}
+
+// Add appends a sample.
+func (t *TimeSeries) Add(timeNs, value int64, c Class) {
+	t.samples = append(t.samples, Sample{Time: timeNs, Value: value, Class: c})
+}
+
+// Merge appends all samples of o.
+func (t *TimeSeries) Merge(o *TimeSeries) {
+	if o == nil {
+		return
+	}
+	t.samples = append(t.samples, o.samples...)
+}
+
+// Sorted returns the samples ordered by time. The receiver's backing
+// slice is sorted in place and returned.
+func (t *TimeSeries) Sorted() []Sample {
+	sort.Slice(t.samples, func(i, j int) bool { return t.samples[i].Time < t.samples[j].Time })
+	return t.samples
+}
+
+// Len returns the number of samples.
+func (t *TimeSeries) Len() int { return len(t.samples) }
+
+// WindowStat summarises one time window of a series.
+type WindowStat struct {
+	Start     int64 // ns
+	End       int64 // ns
+	Count     int
+	P99       int64
+	Max       int64
+	LittleP99 int64
+}
+
+// Windows partitions the series into fixed windows of width ns and
+// summarises each; this is how the Fig. 8d trace is checked against the
+// SLO per phase.
+func (t *TimeSeries) Windows(width int64) []WindowStat {
+	if width <= 0 || len(t.samples) == 0 {
+		return nil
+	}
+	s := t.Sorted()
+	var out []WindowStat
+	i := 0
+	for i < len(s) {
+		start := s[i].Time - s[i].Time%width
+		end := start + width
+		h := NewHistogram()
+		hl := NewHistogram()
+		n := 0
+		var max int64
+		for i < len(s) && s[i].Time < end {
+			h.Record(s[i].Value)
+			if s[i].Class == Little {
+				hl.Record(s[i].Value)
+			}
+			if s[i].Value > max {
+				max = s[i].Value
+			}
+			n++
+			i++
+		}
+		out = append(out, WindowStat{Start: start, End: end, Count: n, P99: h.P99(), Max: max, LittleP99: hl.P99()})
+	}
+	return out
+}
+
+// CSV renders the series as "time_ns,latency_ns,class" lines for
+// external plotting.
+func (t *TimeSeries) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_ns,latency_ns,class\n")
+	for _, s := range t.Sorted() {
+		fmt.Fprintf(&b, "%d,%d,%s\n", s.Time, s.Value, s.Class)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeSeriesSorted(t *testing.T) {
+	ts := NewTimeSeries(0)
+	ts.Add(300, 3, Big)
+	ts.Add(100, 1, Little)
+	ts.Add(200, 2, Big)
+	s := ts.Sorted()
+	if len(s) != 3 || s[0].Time != 100 || s[1].Time != 200 || s[2].Time != 300 {
+		t.Fatalf("not sorted: %+v", s)
+	}
+}
+
+func TestTimeSeriesWindows(t *testing.T) {
+	ts := NewTimeSeries(0)
+	// Two windows of width 100: [0,100) has values 10 and 20; [100,200)
+	// has value 1000 from a little core.
+	ts.Add(10, 10, Big)
+	ts.Add(50, 20, Big)
+	ts.Add(150, 1000, Little)
+	ws := ts.Windows(100)
+	if len(ws) != 2 {
+		t.Fatalf("expected 2 windows, got %d", len(ws))
+	}
+	if ws[0].Count != 2 || ws[0].Max != 20 || ws[0].Start != 0 {
+		t.Errorf("window 0 wrong: %+v", ws[0])
+	}
+	if ws[1].Count != 1 || ws[1].Max != 1000 || ws[1].LittleP99 != 1000 {
+		t.Errorf("window 1 wrong: %+v", ws[1])
+	}
+	if ws[0].LittleP99 != 0 {
+		t.Errorf("window 0 has no little samples, LittleP99 = %d", ws[0].LittleP99)
+	}
+}
+
+func TestTimeSeriesWindowsEmpty(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if got := ts.Windows(100); got != nil {
+		t.Fatalf("empty series windows = %v", got)
+	}
+	if got := ts.Windows(0); got != nil {
+		t.Fatalf("zero width windows = %v", got)
+	}
+}
+
+func TestTimeSeriesMergeAndCSV(t *testing.T) {
+	a, b := NewTimeSeries(0), NewTimeSeries(0)
+	a.Add(1, 10, Big)
+	b.Add(2, 20, Little)
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Len() != 2 {
+		t.Fatalf("merged length %d", a.Len())
+	}
+	csv := a.CSV()
+	if !strings.HasPrefix(csv, "time_ns,latency_ns,class\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "1,10,big") || !strings.Contains(csv, "2,20,little") {
+		t.Errorf("csv rows wrong:\n%s", csv)
+	}
+}
+
+func TestWindowGapHandling(t *testing.T) {
+	ts := NewTimeSeries(0)
+	ts.Add(50, 1, Big)
+	ts.Add(950, 2, Big) // window [900,1000), with a gap between
+	ws := ts.Windows(100)
+	if len(ws) != 2 {
+		t.Fatalf("expected 2 non-empty windows, got %d", len(ws))
+	}
+	if ws[1].Start != 900 {
+		t.Errorf("second window start = %d, want 900", ws[1].Start)
+	}
+}

@@ -1,0 +1,246 @@
+// Package cowbtree implements a copy-on-write B+ tree with immutable
+// snapshot roots: the storage substrate of the LMDB-like engine. A
+// writer produces a new root by path-copying; readers hold a Snapshot
+// (an old root) and can read it without any synchronisation while
+// writers commit new versions — exactly LMDB's MVCC design, where the
+// single writer lock and the reader-table locks are the only locks
+// (paper Table 1).
+package cowbtree
+
+import "sync/atomic"
+
+const degree = 32
+
+type node struct {
+	keys     []uint64
+	children []*node
+	values   [][]byte
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// Snapshot is an immutable tree version; safe for concurrent readers.
+type Snapshot struct {
+	root *node
+	size int
+	// Gen is the commit generation this snapshot belongs to.
+	Gen uint64
+}
+
+// Tree holds the current version; writers mutate via Commit-style Puts
+// under an external writer lock. The current-version pointer itself is
+// atomic, so readers may take snapshots without holding the writer
+// lock — the same way LMDB readers read the meta page lock-free.
+type Tree struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// New returns an empty tree at generation 0.
+func New() *Tree {
+	t := &Tree{}
+	t.cur.Store(&Snapshot{root: &node{}})
+	return t
+}
+
+// Snapshot returns the current version. Callers may read it freely
+// even while a writer commits new versions (those copy their path).
+func (t *Tree) Snapshot() Snapshot { return *t.cur.Load() }
+
+// Len returns the key count of the current version.
+func (t *Tree) Len() int { return t.cur.Load().size }
+
+func search(keys []uint64, k uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get reads k from the snapshot.
+func (s Snapshot) Get(k uint64) ([]byte, bool) {
+	n := s.root
+	if n == nil {
+		return nil, false
+	}
+	for !n.isLeaf() {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.values[i], true
+	}
+	return nil, false
+}
+
+// Range calls fn over [lo, hi] in order until fn returns false.
+func (s Snapshot) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	s.walk(s.root, lo, hi, fn)
+}
+
+func (s Snapshot) walk(n *node, lo, hi uint64, fn func(uint64, []byte) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.isLeaf() {
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return false
+			}
+			if !fn(k, n.values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range n.children {
+		// Prune subtrees wholly outside [lo, hi].
+		if i > 0 && n.keys[i-1] > hi {
+			return false
+		}
+		if i < len(n.keys) && n.keys[i] < lo {
+			continue
+		}
+		if !s.walk(n.children[i], lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the snapshot's key count.
+func (s Snapshot) Len() int { return s.size }
+
+// Put inserts or replaces k in a new version (path copy). The caller
+// must hold the writer lock; readers of older snapshots are unaffected.
+func (t *Tree) Put(k uint64, v []byte) bool {
+	cur := t.cur.Load()
+	newRoot, inserted, sep, right := insertCOW(cur.root, k, v)
+	if right != nil {
+		newRoot = &node{keys: []uint64{sep}, children: []*node{newRoot, right}}
+	}
+	size := cur.size
+	if inserted {
+		size++
+	}
+	t.cur.Store(&Snapshot{root: newRoot, size: size, Gen: cur.Gen + 1})
+	return inserted
+}
+
+// insertCOW returns a copied node with k/v applied, plus split info.
+func insertCOW(n *node, k uint64, v []byte) (*node, bool, uint64, *node) {
+	if n.isLeaf() {
+		i := search(n.keys, k)
+		c := &node{
+			keys:   make([]uint64, len(n.keys), len(n.keys)+1),
+			values: make([][]byte, len(n.values), len(n.values)+1),
+		}
+		copy(c.keys, n.keys)
+		copy(c.values, n.values)
+		if i < len(c.keys) && c.keys[i] == k {
+			c.values[i] = v
+			return c, false, 0, nil
+		}
+		c.keys = append(c.keys, 0)
+		copy(c.keys[i+1:], c.keys[i:])
+		c.keys[i] = k
+		c.values = append(c.values, nil)
+		copy(c.values[i+1:], c.values[i:])
+		c.values[i] = v
+		if len(c.keys) > degree {
+			mid := len(c.keys) / 2
+			right := &node{
+				keys:   append([]uint64(nil), c.keys[mid:]...),
+				values: append([][]byte(nil), c.values[mid:]...),
+			}
+			c.keys = c.keys[:mid:mid]
+			c.values = c.values[:mid:mid]
+			return c, true, right.keys[0], right
+		}
+		return c, true, 0, nil
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		i++
+	}
+	child, inserted, sep, right := insertCOW(n.children[i], k, v)
+	c := &node{
+		keys:     append([]uint64(nil), n.keys...),
+		children: append([]*node(nil), n.children...),
+	}
+	c.children[i] = child
+	if right != nil {
+		c.keys = append(c.keys, 0)
+		copy(c.keys[i+1:], c.keys[i:])
+		c.keys[i] = sep
+		c.children = append(c.children, nil)
+		copy(c.children[i+2:], c.children[i+1:])
+		c.children[i+1] = right
+		if len(c.keys) > degree {
+			mid := len(c.keys) / 2
+			sep2 := c.keys[mid]
+			r2 := &node{
+				keys:     append([]uint64(nil), c.keys[mid+1:]...),
+				children: append([]*node(nil), c.children[mid+1:]...),
+			}
+			c.keys = c.keys[:mid:mid]
+			c.children = c.children[: mid+1 : mid+1]
+			return c, inserted, sep2, r2
+		}
+	}
+	return c, inserted, 0, nil
+}
+
+// Delete removes k in a new version; lazy underflow like the mutable
+// tree.
+func (t *Tree) Delete(k uint64) bool {
+	cur := t.cur.Load()
+	root, deleted := deleteCOW(cur.root, k)
+	if !deleted {
+		return false
+	}
+	t.cur.Store(&Snapshot{root: root, size: cur.size - 1, Gen: cur.Gen + 1})
+	return true
+}
+
+func deleteCOW(n *node, k uint64) (*node, bool) {
+	if n.isLeaf() {
+		i := search(n.keys, k)
+		if i >= len(n.keys) || n.keys[i] != k {
+			return n, false
+		}
+		c := &node{
+			keys:   append([]uint64(nil), n.keys[:i]...),
+			values: append([][]byte(nil), n.values[:i]...),
+		}
+		c.keys = append(c.keys, n.keys[i+1:]...)
+		c.values = append(c.values, n.values[i+1:]...)
+		return c, true
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		i++
+	}
+	child, deleted := deleteCOW(n.children[i], k)
+	if !deleted {
+		return n, false
+	}
+	c := &node{
+		keys:     append([]uint64(nil), n.keys...),
+		children: append([]*node(nil), n.children...),
+	}
+	c.children[i] = child
+	return c, true
+}

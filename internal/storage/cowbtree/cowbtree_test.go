@@ -1,0 +1,155 @@
+package cowbtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 2000; i++ {
+		tr.Put(i, []byte{byte(i)})
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	s := tr.Snapshot()
+	for i := uint64(0); i < 2000; i++ {
+		v, ok := s.Get(i)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("Get(%d) = %v,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	// The core MVCC property: a snapshot taken before writes must not
+	// observe them — this is what lets the LMDB-like engine read
+	// without the writer lock.
+	tr := New()
+	for i := uint64(0); i < 500; i++ {
+		tr.Put(i, []byte("old"))
+	}
+	snap := tr.Snapshot()
+	gen := snap.Gen
+	for i := uint64(0); i < 500; i++ {
+		tr.Put(i, []byte("new"))
+	}
+	tr.Put(9999, []byte("extra"))
+	// The old snapshot still sees old values and no phantom keys.
+	for i := uint64(0); i < 500; i++ {
+		if v, ok := snap.Get(i); !ok || string(v) != "old" {
+			t.Fatalf("snapshot polluted at %d: %q", i, v)
+		}
+	}
+	if _, ok := snap.Get(9999); ok {
+		t.Fatal("snapshot sees a key inserted after it was taken")
+	}
+	if snap.Gen != gen {
+		t.Fatal("snapshot generation changed")
+	}
+	// The current version sees everything.
+	cur := tr.Snapshot()
+	if v, _ := cur.Get(42); string(v) != "new" {
+		t.Fatal("current version missing new values")
+	}
+	if _, ok := cur.Get(9999); !ok {
+		t.Fatal("current version missing new key")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 300; i++ {
+		tr.Put(i, nil)
+	}
+	snap := tr.Snapshot()
+	if !tr.Delete(7) || tr.Delete(7) {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := tr.Snapshot().Get(7); ok {
+		t.Fatal("deleted key visible in new version")
+	}
+	if _, ok := snap.Get(7); !ok {
+		t.Fatal("old snapshot lost a key after delete")
+	}
+	if tr.Len() != 299 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Put(i*3, nil)
+	}
+	var got []uint64
+	tr.Snapshot().Range(10, 31, func(k uint64, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{12, 15, 18, 21, 24, 27, 30}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGenerationsMonotone(t *testing.T) {
+	tr := New()
+	last := tr.Snapshot().Gen
+	for i := uint64(0); i < 100; i++ {
+		tr.Put(i, nil)
+		g := tr.Snapshot().Gen
+		if g <= last {
+			t.Fatalf("generation not monotone: %d after %d", g, last)
+		}
+		last = g
+	}
+}
+
+func TestVsReferenceMap(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := prng.NewXoshiro256(seed)
+		tr := New()
+		ref := map[uint64][]byte{}
+		for i := 0; i < int(n%1200)+50; i++ {
+			k := prng.Uint64n(rng, 300)
+			switch prng.Uint64n(rng, 3) {
+			case 0, 1:
+				v := []byte{byte(k), byte(i)}
+				tr.Put(k, v)
+				ref[k] = v
+			default:
+				got := tr.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		s := tr.Snapshot()
+		for k, v := range ref {
+			got, ok := s.Get(k)
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		count := 0
+		s.Range(0, ^uint64(0), func(k uint64, v []byte) bool { count++; return true })
+		return count == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package hashkv is a chained hash table partitioned into fixed slots:
+// the storage substrate of the Kyoto-Cabinet-like engine, whose lock
+// topology (paper Table 1) is a slot-level lock per partition plus a
+// global method lock. The table itself is unsynchronised; the engine
+// layer locks the slot that owns a key.
+package hashkv
+
+// entry is one chained key/value pair.
+type entry struct {
+	key  uint64
+	val  []byte
+	next *entry
+}
+
+// Slot is one independently lockable partition.
+type Slot struct {
+	buckets []*entry
+	size    int
+}
+
+// Table is a fixed-slot hash KV store.
+type Table struct {
+	slots []Slot
+}
+
+// New builds a table with the given slot count and per-slot bucket
+// count. Kyoto Cabinet's hash DB similarly divides its bucket array
+// into lockable regions.
+func New(slots, bucketsPerSlot int) *Table {
+	t := &Table{slots: make([]Slot, slots)}
+	for i := range t.slots {
+		t.slots[i].buckets = make([]*entry, bucketsPerSlot)
+	}
+	return t
+}
+
+// NumSlots returns the slot count.
+func (t *Table) NumSlots() int { return len(t.slots) }
+
+// SlotOf maps a key to its slot index; the engine locks this slot.
+func (t *Table) SlotOf(k uint64) int {
+	return int(mix(k) % uint64(len(t.slots)))
+}
+
+// mix is a strong 64-bit finalizer (splitmix64's) so adjacent keys
+// spread across slots.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (t *Table) slotAndBucket(k uint64) (*Slot, int) {
+	s := &t.slots[t.SlotOf(k)]
+	return s, int(mix(k^0xabcdef) % uint64(len(s.buckets)))
+}
+
+// Put stores k=v. The caller must hold k's slot lock. Returns true on
+// insert, false on replace.
+func (t *Table) Put(k uint64, v []byte) bool {
+	s, b := t.slotAndBucket(k)
+	for e := s.buckets[b]; e != nil; e = e.next {
+		if e.key == k {
+			e.val = v
+			return false
+		}
+	}
+	s.buckets[b] = &entry{key: k, val: v, next: s.buckets[b]}
+	s.size++
+	return true
+}
+
+// Get reads k. The caller must hold k's slot lock.
+func (t *Table) Get(k uint64) ([]byte, bool) {
+	s, b := t.slotAndBucket(k)
+	for e := s.buckets[b]; e != nil; e = e.next {
+		if e.key == k {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// Delete removes k. The caller must hold k's slot lock.
+func (t *Table) Delete(k uint64) bool {
+	s, b := t.slotAndBucket(k)
+	for p := &s.buckets[b]; *p != nil; p = &(*p).next {
+		if (*p).key == k {
+			*p = (*p).next
+			s.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Len sums all slot sizes; callers must hold all slot locks (or accept
+// an approximate answer), as with Kyoto's count method.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.slots {
+		n += t.slots[i].size
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+package hashkv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	h := New(16, 64)
+	if !h.Put(1, []byte("a")) {
+		t.Fatal("insert should report true")
+	}
+	if h.Put(1, []byte("b")) {
+		t.Fatal("replace should report false")
+	}
+	if v, ok := h.Get(1); !ok || string(v) != "b" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if !h.Delete(1) || h.Delete(1) {
+		t.Fatal("delete semantics wrong")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestSlotMappingStable(t *testing.T) {
+	h := New(16, 64)
+	for k := uint64(0); k < 1000; k++ {
+		a, b := h.SlotOf(k), h.SlotOf(k)
+		if a != b {
+			t.Fatal("SlotOf must be deterministic")
+		}
+		if a < 0 || a >= h.NumSlots() {
+			t.Fatalf("slot %d out of range", a)
+		}
+	}
+}
+
+func TestSlotDistribution(t *testing.T) {
+	h := New(16, 64)
+	counts := make([]int, 16)
+	for k := uint64(0); k < 16000; k++ {
+		counts[h.SlotOf(k)]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("slot %d badly skewed: %d/16000", i, c)
+		}
+	}
+}
+
+func TestChainCollisions(t *testing.T) {
+	// Tiny table: every bucket chains heavily; all keys must survive.
+	h := New(2, 2)
+	for k := uint64(0); k < 500; k++ {
+		h.Put(k, []byte{byte(k)})
+	}
+	if h.Len() != 500 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	for k := uint64(0); k < 500; k++ {
+		v, ok := h.Get(k)
+		if !ok || v[0] != byte(k) {
+			t.Fatalf("Get(%d) failed", k)
+		}
+	}
+}
+
+func TestVsReferenceMap(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := prng.NewXoshiro256(seed)
+		h := New(8, 32)
+		ref := map[uint64][]byte{}
+		for i := 0; i < int(n%1500)+50; i++ {
+			k := prng.Uint64n(rng, 400)
+			switch prng.Uint64n(rng, 3) {
+			case 0, 1:
+				v := []byte{byte(k), byte(i)}
+				h.Put(k, v)
+				ref[k] = v
+			default:
+				got := h.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if h.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := h.Get(k)
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

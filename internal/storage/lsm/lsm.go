@@ -1,0 +1,164 @@
+// Package lsm is a miniature log-structured merge store: an active
+// memtable (skiplist), frozen immutable runs, and reference-counted
+// versions used for LevelDB-style snapshots. It is the substrate of
+// the LevelDB-like engine; the paper's db_bench randomread workload
+// takes "a snapshot of internal database structures" under a global
+// metadata lock — this package supplies the version/snapshot machinery
+// and the engine in internal/dbs/ldb supplies the locking.
+package lsm
+
+import (
+	"sort"
+
+	"repro/internal/storage/skiplist"
+)
+
+// run is one immutable sorted run (a flushed memtable).
+type run struct {
+	keys   []uint64
+	values [][]byte
+}
+
+func (r *run) get(k uint64) ([]byte, bool) {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= k })
+	if i < len(r.keys) && r.keys[i] == k {
+		return r.values[i], true
+	}
+	return nil, false
+}
+
+// Version is an immutable view: a frozen memtable prefix plus the run
+// stack at freeze time. Reads against a Version need no locks, exactly
+// like reads against a LevelDB snapshot.
+type Version struct {
+	runs []*run // newest first
+	refs int
+	seq  uint64
+}
+
+// Seq returns the version's sequence number.
+func (v *Version) Seq() uint64 { return v.seq }
+
+// Get reads k from the version (newest run wins).
+func (v *Version) Get(k uint64) ([]byte, bool) {
+	for _, r := range v.runs {
+		if val, ok := r.get(k); ok {
+			return val, true
+		}
+	}
+	return nil, false
+}
+
+// Store is the mutable LSM. All mutating methods and version
+// acquisition must be externally synchronised (the engine's metadata
+// lock); reads through an acquired Version are lock-free.
+type Store struct {
+	mem      *skiplist.List
+	versions *Version // current
+	seq      uint64
+	// FlushBytes triggers a memtable freeze; zero means 1<<18.
+	FlushBytes int
+}
+
+// New returns an empty store.
+func New(seed uint64) *Store {
+	return &Store{
+		mem:      skiplist.New(seed),
+		versions: &Version{seq: 0},
+	}
+}
+
+func (s *Store) flushBytes() int {
+	if s.FlushBytes == 0 {
+		return 1 << 18
+	}
+	return s.FlushBytes
+}
+
+// Put writes k=v into the memtable, freezing it into a run when full.
+func (s *Store) Put(k uint64, v []byte) {
+	s.mem.Put(k, v)
+	s.seq++
+	if s.mem.Bytes() >= s.flushBytes() {
+		s.freeze()
+	}
+}
+
+// freeze turns the memtable into an immutable run and installs a new
+// current version. Old versions remain readable by their holders.
+func (s *Store) freeze() {
+	r := &run{}
+	s.mem.Scan(func(k uint64, v []byte) bool {
+		r.keys = append(r.keys, k)
+		r.values = append(r.values, v)
+		return true
+	})
+	newRuns := append([]*run{r}, s.versions.runs...)
+	// Trivial compaction: merge the oldest runs when the stack deepens,
+	// keeping read amplification bounded.
+	if len(newRuns) > 6 {
+		merged := mergeRuns(newRuns[4:])
+		newRuns = append(newRuns[:4:4], merged)
+	}
+	s.versions = &Version{runs: newRuns, seq: s.seq}
+	s.mem = skiplist.New(s.seq ^ 0x9e3779b97f4a7c15)
+}
+
+// mergeRuns merges sorted runs, newest first, into one.
+func mergeRuns(rs []*run) *run {
+	type kv struct {
+		k uint64
+		v []byte
+	}
+	seen := map[uint64]kv{}
+	order := []uint64{}
+	for _, r := range rs { // newest first: first write wins
+		for i, k := range r.keys {
+			if _, ok := seen[k]; !ok {
+				seen[k] = kv{k, r.values[i]}
+				order = append(order, k)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := &run{}
+	for _, k := range order {
+		out.keys = append(out.keys, k)
+		out.values = append(out.values, seen[k].v)
+	}
+	return out
+}
+
+// Get reads k from the live store (memtable, then runs). Must be
+// called under the metadata lock; snapshot reads use Acquire instead.
+func (s *Store) Get(k uint64) ([]byte, bool) {
+	if v, ok := s.mem.Get(k); ok {
+		return v, true
+	}
+	return s.versions.Get(k)
+}
+
+// Acquire pins and returns the current version (snapshot acquisition;
+// LevelDB's db_bench randomread does this per read under the global
+// mutex).
+func (s *Store) Acquire() *Version {
+	s.versions.refs++
+	return s.versions
+}
+
+// Release unpins a version previously acquired.
+func (s *Store) Release(v *Version) {
+	v.refs--
+	if v.refs < 0 {
+		panic("lsm: version released more times than acquired")
+	}
+}
+
+// Refs exposes the current version's pin count (tests).
+func (s *Store) Refs() int { return s.versions.refs }
+
+// MemLen returns the memtable key count (tests).
+func (s *Store) MemLen() int { return s.mem.Len() }
+
+// Runs returns the current run-stack depth (tests).
+func (s *Store) Runs() int { return len(s.versions.runs) }

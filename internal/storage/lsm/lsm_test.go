@@ -1,0 +1,136 @@
+package lsm
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New(1)
+	s.FlushBytes = 1 << 10 // small, to force freezes
+	for i := uint64(0); i < 2000; i++ {
+		s.Put(i, []byte{byte(i)})
+	}
+	for i := uint64(0); i < 2000; i++ {
+		v, ok := s.Get(i)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("Get(%d) = %v,%v", i, v, ok)
+		}
+	}
+	if s.Runs() == 0 {
+		t.Fatal("expected at least one frozen run")
+	}
+}
+
+func TestOverwriteAcrossFreeze(t *testing.T) {
+	s := New(2)
+	s.FlushBytes = 256
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 50; i++ {
+			s.Put(i, []byte{byte(round)})
+		}
+	}
+	for i := uint64(0); i < 50; i++ {
+		v, ok := s.Get(i)
+		if !ok || v[0] != 9 {
+			t.Fatalf("Get(%d) = %v,%v; newest write must win across runs", i, v, ok)
+		}
+	}
+}
+
+func TestSnapshotStability(t *testing.T) {
+	s := New(3)
+	s.FlushBytes = 512
+	for i := uint64(0); i < 100; i++ {
+		s.Put(i, []byte("old"))
+	}
+	// Force the memtable into a run so the version captures it.
+	for i := uint64(100); i < 400; i++ {
+		s.Put(i, []byte("pad"))
+	}
+	v := s.Acquire()
+	seqAt := v.Seq()
+	for i := uint64(0); i < 100; i++ {
+		s.Put(i, []byte("new"))
+	}
+	for i := uint64(400); i < 1000; i++ {
+		s.Put(i, []byte("more"))
+	}
+	// The pinned version still answers from its frozen view.
+	got, ok := v.Get(5)
+	if !ok || string(got) != "old" {
+		t.Fatalf("snapshot read = %q,%v, want old", got, ok)
+	}
+	if v.Seq() != seqAt {
+		t.Fatal("version seq changed under a pin")
+	}
+	s.Release(v)
+}
+
+func TestAcquireReleaseRefcount(t *testing.T) {
+	s := New(4)
+	v1 := s.Acquire()
+	v2 := s.Acquire()
+	if s.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2", s.Refs())
+	}
+	s.Release(v1)
+	s.Release(v2)
+	if s.Refs() != 0 {
+		t.Fatalf("refs = %d, want 0", s.Refs())
+	}
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := New(5)
+	v := s.Acquire()
+	s.Release(v)
+	s.Release(v)
+}
+
+func TestCompactionBoundsRuns(t *testing.T) {
+	s := New(6)
+	s.FlushBytes = 128
+	rng := prng.NewXoshiro256(1)
+	for i := 0; i < 20000; i++ {
+		s.Put(prng.Uint64n(rng, 5000), []byte{1, 2, 3, 4})
+	}
+	if s.Runs() > 8 {
+		t.Fatalf("run stack grew unbounded: %d", s.Runs())
+	}
+	// Everything remains readable post-compaction.
+	found := 0
+	for k := uint64(0); k < 5000; k++ {
+		if _, ok := s.Get(k); ok {
+			found++
+		}
+	}
+	if found < 4000 {
+		t.Fatalf("only %d/5000 keys found after compaction", found)
+	}
+}
+
+func TestVsReferenceMap(t *testing.T) {
+	s := New(7)
+	s.FlushBytes = 1 << 11
+	rng := prng.NewXoshiro256(21)
+	ref := map[uint64]byte{}
+	for i := 0; i < 30000; i++ {
+		k := prng.Uint64n(rng, 2048)
+		v := byte(i)
+		s.Put(k, []byte{v})
+		ref[k] = v
+	}
+	for k, v := range ref {
+		got, ok := s.Get(k)
+		if !ok || got[0] != v {
+			t.Fatalf("Get(%d) = %v,%v, want %d", k, got, ok, v)
+		}
+	}
+}

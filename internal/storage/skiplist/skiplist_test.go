@@ -1,0 +1,128 @@
+package skiplist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	l := New(1)
+	if !l.Put(5, []byte("a")) {
+		t.Fatal("insert should report true")
+	}
+	if l.Put(5, []byte("b")) {
+		t.Fatal("replace should report false")
+	}
+	if v, ok := l.Get(5); !ok || string(v) != "b" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if !l.Delete(5) || l.Delete(5) {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := l.Get(5); ok {
+		t.Fatal("deleted key still present")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestOrderedScan(t *testing.T) {
+	l := New(7)
+	rng := prng.NewXoshiro256(3)
+	ref := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := prng.Uint64n(rng, 10000)
+		l.Put(k, nil)
+		ref[k] = true
+	}
+	var prev uint64
+	first := true
+	n := 0
+	l.Scan(func(k uint64, v []byte) bool {
+		if !first && k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		n++
+		return true
+	})
+	if n != len(ref) {
+		t.Fatalf("scanned %d, want %d", n, len(ref))
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	l := New(2)
+	for i := uint64(0); i < 100; i++ {
+		l.Put(i*2, nil) // even keys 0..198
+	}
+	var got []uint64
+	l.Range(10, 20, func(k uint64, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v", got)
+		}
+	}
+}
+
+func TestDeterministicStructure(t *testing.T) {
+	// Same seed + same inserts => same Bytes accounting and scan.
+	build := func() *List {
+		l := New(99)
+		for i := uint64(0); i < 1000; i++ {
+			l.Put(i*i%4096, []byte{byte(i)})
+		}
+		return l
+	}
+	a, b := build(), build()
+	if a.Len() != b.Len() || a.Bytes() != b.Bytes() {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.Len(), a.Bytes(), b.Len(), b.Bytes())
+	}
+}
+
+func TestVsReferenceMap(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := prng.NewXoshiro256(seed)
+		l := New(seed)
+		ref := map[uint64][]byte{}
+		for i := 0; i < int(n%1500)+50; i++ {
+			k := prng.Uint64n(rng, 256)
+			switch prng.Uint64n(rng, 3) {
+			case 0, 1:
+				v := []byte{byte(k), byte(i)}
+				l.Put(k, v)
+				ref[k] = v
+			default:
+				got := l.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if l.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := l.Get(k)
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
