@@ -1,0 +1,27 @@
+# Development targets. `make check` is the tier-1 gate; `make race`
+# runs the race detector over the concurrency-bearing packages.
+
+GO ?= go
+
+.PHONY: check build vet test short race bench
+
+check: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Reduced smoke paths (figures run scaled-down reproductions).
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/locks ./internal/core ./internal/shardedkv
+
+bench:
+	$(GO) run ./cmd/kvbench -dur 500ms

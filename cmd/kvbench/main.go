@@ -1,0 +1,313 @@
+// Command kvbench drives the sharded asymmetry-aware KV service
+// (internal/shardedkv) with the repository's workload mixes and
+// reports throughput and tail latency per (engine, mix, lock)
+// configuration, comparing ASL shard locks against class-oblivious
+// baselines such as plain sync.Mutex.
+//
+// Usage:
+//
+//	kvbench                                  # engine × mix grid, asl vs mutex
+//	kvbench -engines hashkv,btree -mixes zipf -locks all
+//	kvbench -threads 8 -bigs 4 -slo 200us -dur 1s -shardstats
+//
+// Mixes: read (95% get), write (80% put), zipf (YCSB-A 50/50 over
+// zipfian keys), batch (MultiGet/MultiPut, keys sorted by shard).
+// Locks: asl, asl-blocking (for hosts with more workers than cores),
+// mutex, mcs, pthread.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/prng"
+	"repro/internal/shardedkv"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+type benchConfig struct {
+	shards   int
+	threads  int
+	bigs     int
+	dur      time.Duration
+	warmup   time.Duration
+	slo      int64
+	keys     uint64
+	vsize    int
+	batch    int
+	zipfS    float64
+	ncsUnits int64
+	csUnits  int64
+}
+
+type mixSpec struct {
+	name string
+	mix  *workload.Mix
+	// zipf selects zipfian key popularity instead of uniform.
+	zipf bool
+	// batched selects MultiGet/MultiPut operation batches.
+	batched bool
+}
+
+func allMixes() []mixSpec {
+	return []mixSpec{
+		{name: "read", mix: workload.ReadHeavy()},
+		{name: "write", mix: workload.WriteHeavy()},
+		{name: "zipf", mix: workload.YCSBA(), zipf: true},
+		{name: "batch", mix: workload.ReadHeavy(), batched: true},
+	}
+}
+
+type lockSpec struct {
+	name string
+	f    locks.Factory
+	// slo enables epoch/SLO annotation (only meaningful for asl).
+	slo bool
+}
+
+func allLocks() []lockSpec {
+	return []lockSpec{
+		// asl is the paper's default spinning stack (reorderable over
+		// MCS); asl-blocking is the Bench-6 flavour (sleeping standby
+		// over the barging mutex) for hosts with more workers than
+		// cores — use it when GOMAXPROCS < -threads.
+		{name: "asl", f: locks.FactoryASL(), slo: true},
+		{name: "asl-blocking", f: locks.FactoryASLBlocking(), slo: true},
+		{name: "mutex", f: locks.FactorySyncMutex()},
+		{name: "mcs", f: locks.FactoryMCS()},
+		{name: "pthread", f: locks.FactoryPthread()},
+	}
+}
+
+// preload fills half the keyspace so gets have something to hit.
+func preload(st *shardedkv.Store, cfg benchConfig) {
+	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	v := make([]byte, cfg.vsize)
+	for k := uint64(0); k < cfg.keys; k += 2 {
+		st.Put(w, k, v)
+	}
+}
+
+// run executes one configuration and returns its summary row plus the
+// store's per-shard counters.
+func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats) {
+	// The critical-section pad emulates the paper's AMP regime on a
+	// symmetric host: a little-class holder keeps the shard lock
+	// CSFactor times longer, exactly the condition under which FIFO
+	// queues collapse and bounded reordering pays (Fig. 1 vs Fig. 4).
+	shim := workload.DefaultShim()
+	st := shardedkv.New(shardedkv.Config{
+		Shards:    cfg.shards,
+		NewEngine: eng.New,
+		NewLock:   lk.f,
+		CSPad: func(w *core.Worker) {
+			workload.Spin(shim.CSUnits(cfg.csUnits, w.Class()))
+		},
+	})
+	preload(st, cfg)
+	var keygen workload.KeyGen = workload.NewUniform(cfg.keys)
+	if mix.zipf {
+		keygen = workload.NewZipf(cfg.keys, cfg.zipfS)
+	}
+	useSLO := lk.slo && cfg.slo >= 0
+
+	// Samples taken before recording turns on are discarded, as the
+	// figure harness does with its Warmup window: they cover goroutine
+	// spawn, cold engine structures, and the AIMD controller's
+	// convergence from its initial window.
+	var stop, recording atomic.Bool
+	recs := make([]*stats.ClassedRecorder, cfg.threads)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.threads; i++ {
+		class := core.Big
+		if i >= cfg.bigs {
+			class = core.Little
+		}
+		rec := stats.NewClassedRecorder()
+		recs[i] = rec
+		wg.Add(1)
+		go func(i int, class core.Class) {
+			defer wg.Done()
+			w := core.NewWorker(core.WorkerConfig{Class: class})
+			rng := prng.NewSplitMix64(uint64(i)*0x9e3779b97f4a7c15 + 0xbeef)
+			val := make([]byte, cfg.vsize)
+			ncs := shim.NCSUnits(cfg.ncsUnits, class)
+			kvs := make([]shardedkv.KV, cfg.batch)
+			keys := make([]uint64, cfg.batch)
+			// doOp returns the number of point operations the request
+			// covered, so batched rows report ops/s in the same unit
+			// as point rows (P99 stays per request).
+			doOp := func() uint64 {
+				if mix.batched {
+					if mix.mix.Draw(rng.Uint64()) == workload.OpGet {
+						for j := range keys {
+							keys[j] = keygen.Draw(rng)
+						}
+						st.MultiGet(w, keys)
+					} else {
+						for j := range kvs {
+							kvs[j] = shardedkv.KV{Key: keygen.Draw(rng), Value: val}
+						}
+						st.MultiPut(w, kvs)
+					}
+					return uint64(cfg.batch)
+				}
+				k := keygen.Draw(rng)
+				if mix.mix.Draw(rng.Uint64()) == workload.OpGet {
+					st.Get(w, k)
+				} else {
+					st.Put(w, k, val)
+				}
+				return 1
+			}
+			for !stop.Load() {
+				var lat int64
+				var n uint64
+				if useSLO {
+					w.EpochStart(0)
+					n = doOp()
+					lat = w.EpochEnd(0, cfg.slo)
+				} else {
+					s := w.Now()
+					n = doOp()
+					lat = w.Now() - s
+				}
+				if recording.Load() {
+					rec.RecordBatch(class, lat, n)
+				}
+				workload.Spin(ncs)
+			}
+		}(i, class)
+	}
+	time.Sleep(cfg.warmup)
+	recording.Store(true)
+	time.Sleep(cfg.dur)
+	stop.Store(true)
+	wg.Wait()
+	merged := stats.NewClassedRecorder()
+	for _, r := range recs {
+		merged.Merge(r)
+	}
+	return merged.Summarize(name, cfg.dur), st.Stats()
+}
+
+// pick filters specs by a comma-separated name list ("all" keeps all).
+func pick[T any](sel string, specs []T, name func(T) string) ([]T, error) {
+	if sel == "all" || sel == "" {
+		return specs, nil
+	}
+	var out []T
+	for _, want := range strings.Split(sel, ",") {
+		found := false
+		for _, s := range specs {
+			if name(s) == strings.TrimSpace(want) {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown name %q", want)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	engines := flag.String("engines", "all", "comma list of hashkv|btree|skiplist|lsm, or all")
+	mixes := flag.String("mixes", "all", "comma list of read|write|zipf|batch, or all")
+	lockSel := flag.String("locks", "asl,mutex", "comma list of asl|asl-blocking|mutex|mcs|pthread, or all")
+	shards := flag.Int("shards", 16, "shard count")
+	threads := flag.Int("threads", 8, "total workers (first -bigs are big-class)")
+	bigs := flag.Int("bigs", 4, "big-class workers")
+	dur := flag.Duration("dur", 500*time.Millisecond, "measured duration per configuration")
+	warmup := flag.Duration("warmup", 100*time.Millisecond, "unrecorded warmup before measurement")
+	slo := flag.Duration("slo", 100*time.Microsecond, "epoch SLO for asl locks; negative disables epochs")
+	keys := flag.Uint64("keys", 1<<16, "keyspace size")
+	vsize := flag.Int("vsize", 64, "value size in bytes")
+	batch := flag.Int("batch", 16, "keys per batched operation")
+	zipfS := flag.Float64("zipf", 0.99, "zipfian theta for the zipf mix")
+	ncsGap := flag.Duration("ncs", 500*time.Nanosecond, "big-core inter-op gap (littles scaled by the shim)")
+	csPad := flag.Duration("cs", 300*time.Nanosecond, "big-core critical-section pad (littles scaled by the shim); 0 disables")
+	shardstats := flag.Bool("shardstats", false, "dump per-shard op counts for the last configuration")
+	flag.Parse()
+
+	if *batch < 1 {
+		fmt.Fprintf(os.Stderr, "kvbench: -batch must be >= 1 (got %d)\n", *batch)
+		os.Exit(2)
+	}
+	if *zipfS <= 0 || *zipfS >= 1 {
+		fmt.Fprintf(os.Stderr, "kvbench: -zipf theta must be in (0, 1) (got %g)\n", *zipfS)
+		os.Exit(2)
+	}
+	engs, err := pick(*engines, shardedkv.AllEngines(), func(e shardedkv.EngineSpec) string { return e.Name })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: -engines: %v\n", err)
+		os.Exit(2)
+	}
+	mxs, err := pick(*mixes, allMixes(), func(m mixSpec) string { return m.name })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: -mixes: %v\n", err)
+		os.Exit(2)
+	}
+	lks, err := pick(*lockSel, allLocks(), func(l lockSpec) string { return l.name })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvbench: -locks: %v\n", err)
+		os.Exit(2)
+	}
+
+	cal := workload.Calibrate()
+	fmt.Fprintf(os.Stderr, "calibration: %.2f ns/spin-unit\n", cal.NsPerUnit)
+	cfg := benchConfig{
+		shards:   *shards,
+		threads:  *threads,
+		bigs:     *bigs,
+		dur:      *dur,
+		warmup:   *warmup,
+		slo:      int64(*slo),
+		keys:     *keys,
+		vsize:    *vsize,
+		batch:    *batch,
+		zipfS:    *zipfS,
+		ncsUnits: cal.Units(*ncsGap),
+	}
+	if *csPad > 0 {
+		cfg.csUnits = cal.Units(*csPad)
+	}
+
+	var lastShards []shardedkv.ShardStats
+	for _, eng := range engs {
+		var rows []stats.Summary
+		for _, mix := range mxs {
+			for _, lk := range lks {
+				mixName := mix.name
+				if mix.batched {
+					// Make the request size visible: P99 is per
+					// batch request, ops/s is per key.
+					mixName = fmt.Sprintf("%s%d", mix.name, cfg.batch)
+				}
+				name := fmt.Sprintf("%s/%s/%s", eng.Name, mixName, lk.name)
+				row, shardStats := run(name, eng, mix, lk, cfg)
+				rows = append(rows, row)
+				lastShards = shardStats
+				fmt.Fprintf(os.Stderr, "done: %s\n", name)
+			}
+		}
+		fmt.Print(stats.FormatSummaries(rows))
+	}
+	if *shardstats && lastShards != nil {
+		fmt.Println("per-shard counters (last configuration):")
+		for i, s := range lastShards {
+			fmt.Printf("shard %2d: gets=%d puts=%d deletes=%d batchLocks=%d\n",
+				i, s.Gets, s.Puts, s.Deletes, s.BatchLocks)
+		}
+	}
+}

@@ -7,6 +7,16 @@
 // deterministic discrete-event AMP simulator used to regenerate the
 // paper's figures. See DESIGN.md for the full system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.
+//
+// On top of the lock reproduction sits a serving layer,
+// internal/shardedkv: a sharded KV store in which every shard pairs
+// one lock (an ASLMutex by default, so admission follows the paper's
+// big/little policy per shard) with one pluggable storage engine
+// (internal/storage/{hashkv,btree,lsm,skiplist}). Batched operations
+// sort keys by shard to take each shard lock once per batch.
+// cmd/kvbench benchmarks the layer across engines, workload mixes
+// (including zipfian skew from internal/workload) and lock choices,
+// and examples/shardedkv walks through ASL-vs-sync.Mutex shard locks.
 package repro
 
 // Version identifies this reproduction build.

@@ -184,13 +184,25 @@ func DBConfig(t DBTemplate, kind LockKind, slo int64, seed uint64) MicroConfig {
 
 // DBComparison reproduces the bar-comparison figure (9a/9d/9g/10a/10d)
 // for one database template.
-func DBComparison(t DBTemplate) *harness.Figure {
+func DBComparison(t DBTemplate) *harness.Figure { return DBComparisonScaled(t, 1) }
+
+// DBComparisonScaled is DBComparison with the virtual duration divided
+// by scale (scale <= 1 runs the full figure). The -short smoke path
+// uses it: the figure's qualitative orderings are already stable at a
+// fraction of the published duration, since the simulator's virtual
+// time makes the reduced run deterministic too.
+func DBComparisonScaled(t DBTemplate, scale int64) *harness.Figure {
+	if scale < 1 {
+		scale = 1
+	}
 	f := &harness.Figure{ID: t.Name + "-cmp", Title: t.Name + ": lock comparison"}
 	aff := littleAffinity
 	if t.TASBigAffinity {
 		aff = bigAffinity
 	}
 	run := func(name string, cfg MicroConfig) {
+		cfg.Duration /= scale
+		cfg.Warmup /= scale
 		r := RunMicro(cfg)
 		f.Rows = append(f.Rows, r.Summary(name))
 	}
@@ -241,8 +253,18 @@ func DBSLOSweep(t DBTemplate, points int) *harness.Figure {
 
 // DBCDF reproduces the latency-CDF figure (9c/9f/9i/10c/10f) at the
 // template's published SLO.
-func DBCDF(t DBTemplate) *harness.Figure {
-	r := RunMicro(DBConfig(t, KindASL, t.CDFSLO, 91))
+func DBCDF(t DBTemplate) *harness.Figure { return DBCDFScaled(t, 1) }
+
+// DBCDFScaled is DBCDF with the virtual duration divided by scale
+// (-short smoke path; see DBComparisonScaled).
+func DBCDFScaled(t DBTemplate, scale int64) *harness.Figure {
+	if scale < 1 {
+		scale = 1
+	}
+	cfg := DBConfig(t, KindASL, t.CDFSLO, 91)
+	cfg.Duration /= scale
+	cfg.Warmup /= scale
+	r := RunMicro(cfg)
 	return harness.CDFFigure(t.Name+"-cdf", t.Name+": latency CDF under LibASL",
 		t.CDFSLO, r.Epochs.Overall(), r.Epochs.ByClass(stats.Little), 64)
 }

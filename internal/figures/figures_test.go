@@ -166,9 +166,7 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestFig8dAdaptivityPhases(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full 350ms trace")
-	}
+	// Cheap enough (virtual time) to run in -short as well.
 	f, trace := Fig8d()
 	if trace.Len() == 0 {
 		t.Fatal("no trace samples")
@@ -196,13 +194,16 @@ func TestFig8dAdaptivityPhases(t *testing.T) {
 }
 
 func TestFig8hOversubscription(t *testing.T) {
+	// -short runs a reduced smoke slice of the same figure; the full
+	// durations only sharpen the P99 estimates, not the orderings.
+	dur, warm := int64(600_000_000), int64(150_000_000)
 	if testing.Short() {
-		t.Skip("2s virtual oversubscription runs")
+		dur, warm = 200_000_000, 50_000_000
 	}
 	short := func(kind LockKind, slo int64) MicroConfig {
 		cfg := OversubConfig(kind, slo)
-		cfg.Duration = 600_000_000
-		cfg.Warmup = 150_000_000
+		cfg.Duration = dur
+		cfg.Warmup = warm
 		return cfg
 	}
 	pthread := RunMicro(short(KindPthread, -1)).Throughput
@@ -224,11 +225,17 @@ func TestFig8hOversubscription(t *testing.T) {
 }
 
 func TestDBComparisonShapes(t *testing.T) {
+	// The full five-template sweep dominates this package's runtime;
+	// -short keeps a one-template smoke reproduction at a third of the
+	// virtual duration, which preserves every checked ordering.
+	templates := AllDBTemplates()
+	scale := int64(1)
 	if testing.Short() {
-		t.Skip("database comparison sweep")
+		templates = []DBTemplate{UpscaleTemplate()}
+		scale = 3
 	}
-	for _, tpl := range AllDBTemplates() {
-		f := DBComparison(tpl)
+	for _, tpl := range templates {
+		f := DBComparisonScaled(tpl, scale)
 		mcs, _ := f.FindRow("mcs")
 		asl0, _ := f.FindRow("libasl-0")
 		max, _ := f.FindRow("libasl-max")
@@ -254,10 +261,11 @@ func TestDBComparisonShapes(t *testing.T) {
 }
 
 func TestDBCDFWellFormed(t *testing.T) {
+	scale := int64(1)
 	if testing.Short() {
-		t.Skip("CDF run")
+		scale = 4
 	}
-	f := DBCDF(UpscaleTemplate())
+	f := DBCDFScaled(UpscaleTemplate(), scale)
 	overall, ok := f.FindSeries("overall")
 	if !ok || len(overall.Points) == 0 {
 		t.Fatal("missing overall CDF")

@@ -1,6 +1,10 @@
 package locks
 
-import "repro/internal/core"
+import (
+	"sync"
+
+	"repro/internal/core"
+)
 
 // WLock is a worker-aware lock: the acquire path may depend on the
 // worker's core class (ASLMutex, class-biased TAS, the proportional
@@ -57,6 +61,11 @@ type Factory func() WLock
 
 // Named lock factories covering the evaluation's comparison set.
 func FactoryPthread() Factory { return func() WLock { return Wrap(new(BargingMutex)) } }
+
+// FactorySyncMutex returns Go's standard sync.Mutex, the class-
+// oblivious baseline the sharded KV benchmarks compare ASL shard locks
+// against.
+func FactorySyncMutex() Factory { return func() WLock { return Wrap(new(sync.Mutex)) } }
 
 // FactoryTAS returns TAS locks with the given emulated affinity
 // (factor < 2 disables the bias).

@@ -35,12 +35,21 @@ type MCSPark struct {
 func (m *MCSPark) getNode() *mcsParkNode {
 	n, ok := m.pool.Get().(*mcsParkNode)
 	if !ok {
-		n = &mcsParkNode{}
+		// The wake channel lives as long as the node: a releaser from a
+		// previous life of a pooled node may still be sending into it
+		// after the node was recycled, so the slot must never be
+		// reassigned. Stale tokens are drained on reuse below; one that
+		// arrives after the drain only causes a spurious wake, which the
+		// park loop absorbs by re-checking locked.
+		n = &mcsParkNode{wake: make(chan struct{}, 1)}
 	}
 	n.next.Store(nil)
 	n.locked.Store(false)
 	n.parked.Store(false)
-	n.wake = nil
+	select {
+	case <-n.wake:
+	default:
+	}
 	return n
 }
 
@@ -63,13 +72,11 @@ func (m *MCSPark) Lock() {
 			}
 			s.spin()
 		}
-		// Park. A fresh channel per park means a delayed wake from an
-		// earlier life of this pooled node can never interfere. The
-		// channel write happens before the parked.Store release, so a
-		// releaser that observes parked==true also observes the
-		// channel. Re-checking locked inside the loop makes spurious
-		// tokens (possible when grant and park race) harmless.
-		n.wake = make(chan struct{}, 1)
+		// Park on the node's lifetime channel (created once in getNode
+		// and drained on reuse, so it is never reassigned while a slow
+		// releaser from an earlier life may still be sending into it).
+		// Re-checking locked inside the loop makes spurious tokens —
+		// a stale send that outran the drain — harmless.
 		n.parked.Store(true)
 		for n.locked.Load() {
 			<-n.wake

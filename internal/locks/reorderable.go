@@ -38,12 +38,17 @@ type Reorderable struct {
 }
 
 // NewReorderable wraps the given FIFO lock. MCS is the paper's default.
+// The clock is installed here, not lazily on first standby wait: two
+// standby competitors racing to initialise it would be a data race
+// (callers may still replace Clock before sharing the lock).
 func NewReorderable(fifo FIFOLock) *Reorderable {
-	return &Reorderable{fifo: fifo}
+	return &Reorderable{fifo: fifo, Clock: core.NowFunc()}
 }
 
 func (r *Reorderable) clock() core.Clock {
 	if r.Clock == nil {
+		// Only reachable for a zero-value Reorderable that skipped the
+		// constructor and is not yet shared.
 		r.Clock = core.NowFunc()
 	}
 	return r.Clock

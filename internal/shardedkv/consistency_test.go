@@ -1,0 +1,235 @@
+package shardedkv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/prng"
+)
+
+// newTestWorker returns a big-class worker (class is irrelevant for
+// single-threaded tests; big avoids standby waits entirely).
+func newTestWorker() *core.Worker {
+	return core.NewWorker(core.WorkerConfig{Class: core.Big})
+}
+
+// value derives a deterministic value for key k at version ver.
+func value(k uint64, ver int) []byte {
+	return []byte(fmt.Sprintf("v%d-%x", ver, k))
+}
+
+// TestCrossEngineConsistency drives the same seeded op sequence
+// through a store on each engine and demands identical results op by
+// op and identical final state.
+func TestCrossEngineConsistency(t *testing.T) {
+	const (
+		numShards = 8
+		keyspace  = 1 << 10
+		ops       = 20_000
+	)
+	specs := AllEngines()
+	stores := make([]*Store, len(specs))
+	for i, spec := range specs {
+		stores[i] = New(Config{Shards: numShards, NewEngine: spec.New})
+	}
+	w := newTestWorker()
+	rng := prng.NewSplitMix64(42)
+	ver := 0
+	for op := 0; op < ops; op++ {
+		k := rng.Uint64() % keyspace
+		switch rng.Uint64() % 4 {
+		case 0: // put
+			ver++
+			v := value(k, ver)
+			var want bool
+			for i, st := range stores {
+				got := st.Put(w, k, v)
+				if i == 0 {
+					want = got
+				} else if got != want {
+					t.Fatalf("op %d: Put(%d) inserted=%v on %s, %v on %s",
+						op, k, want, specs[0].Name, got, specs[i].Name)
+				}
+			}
+		case 1: // get
+			var wantV []byte
+			var wantOK bool
+			for i, st := range stores {
+				v, ok := st.Get(w, k)
+				if i == 0 {
+					wantV, wantOK = v, ok
+				} else if ok != wantOK || !bytes.Equal(v, wantV) {
+					t.Fatalf("op %d: Get(%d) = (%q,%v) on %s, (%q,%v) on %s",
+						op, k, wantV, wantOK, specs[0].Name, v, ok, specs[i].Name)
+				}
+			}
+		case 2: // delete
+			var want bool
+			for i, st := range stores {
+				got := st.Delete(w, k)
+				if i == 0 {
+					want = got
+				} else if got != want {
+					t.Fatalf("op %d: Delete(%d) present=%v on %s, %v on %s",
+						op, k, want, specs[0].Name, got, specs[i].Name)
+				}
+			}
+		default: // batched puts + batched gets
+			n := int(rng.Uint64()%8) + 1
+			kvs := make([]KV, n)
+			keys := make([]uint64, n)
+			for j := range kvs {
+				ver++
+				bk := rng.Uint64() % keyspace
+				kvs[j] = KV{Key: bk, Value: value(bk, ver)}
+				keys[j] = bk
+			}
+			var wantIns int
+			for i, st := range stores {
+				ins := st.MultiPut(w, kvs)
+				if i == 0 {
+					wantIns = ins
+				} else if ins != wantIns {
+					t.Fatalf("op %d: MultiPut inserted %d on %s, %d on %s",
+						op, wantIns, specs[0].Name, ins, specs[i].Name)
+				}
+			}
+			var wantVals [][]byte
+			var wantOKs []bool
+			for i, st := range stores {
+				vals, oks := st.MultiGet(w, keys)
+				if i == 0 {
+					wantVals, wantOKs = vals, oks
+					continue
+				}
+				for j := range keys {
+					if oks[j] != wantOKs[j] || !bytes.Equal(vals[j], wantVals[j]) {
+						t.Fatalf("op %d: MultiGet key %d mismatch between %s and %s",
+							op, keys[j], specs[0].Name, specs[i].Name)
+					}
+				}
+			}
+		}
+	}
+	// Final state: identical Len and identical contents over the whole
+	// keyspace.
+	wantLen := stores[0].Len(w)
+	for i := 1; i < len(stores); i++ {
+		if l := stores[i].Len(w); l != wantLen {
+			t.Fatalf("final Len: %d on %s, %d on %s", wantLen, specs[0].Name, l, specs[i].Name)
+		}
+	}
+	live := 0
+	for k := uint64(0); k < keyspace; k++ {
+		wantV, wantOK := stores[0].Get(w, k)
+		if wantOK {
+			live++
+		}
+		for i := 1; i < len(stores); i++ {
+			v, ok := stores[i].Get(w, k)
+			if ok != wantOK || !bytes.Equal(v, wantV) {
+				t.Fatalf("final Get(%d): (%q,%v) on %s, (%q,%v) on %s",
+					k, wantV, wantOK, specs[0].Name, v, ok, specs[i].Name)
+			}
+		}
+	}
+	if live != wantLen {
+		t.Fatalf("final Len %d does not match live key count %d", wantLen, live)
+	}
+}
+
+// TestMultiPutDuplicateKeysLastWins pins batch-order semantics for
+// duplicate keys within one batch.
+func TestMultiPutDuplicateKeysLastWins(t *testing.T) {
+	for _, spec := range AllEngines() {
+		st := New(Config{Shards: 4, NewEngine: spec.New})
+		w := newTestWorker()
+		ins := st.MultiPut(w, []KV{
+			{Key: 7, Value: []byte("first")},
+			{Key: 7, Value: []byte("second")},
+		})
+		if ins != 1 {
+			t.Errorf("%s: duplicate-key batch inserted %d keys, want 1", spec.Name, ins)
+		}
+		v, ok := st.Get(w, 7)
+		if !ok || string(v) != "second" {
+			t.Errorf("%s: Get(7) = (%q, %v), want last write to win", spec.Name, v, ok)
+		}
+	}
+}
+
+// TestMultiGetAlignment checks result slices align with the request
+// and hit every shard at most once per batch.
+func TestMultiGetAlignment(t *testing.T) {
+	st := New(Config{Shards: 4, NewLock: locks.FactoryMCS()})
+	w := newTestWorker()
+	for k := uint64(0); k < 64; k += 2 { // even keys present
+		st.Put(w, k, value(k, 0))
+	}
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	before := st.AggregateStats().BatchLocks
+	vals, oks := st.MultiGet(w, keys)
+	if len(vals) != len(keys) || len(oks) != len(keys) {
+		t.Fatalf("result length mismatch: %d vals, %d oks, %d keys", len(vals), len(oks), len(keys))
+	}
+	for i, k := range keys {
+		wantOK := k%2 == 0
+		if oks[i] != wantOK {
+			t.Fatalf("key %d: ok=%v, want %v", k, oks[i], wantOK)
+		}
+		if wantOK && !bytes.Equal(vals[i], value(k, 0)) {
+			t.Fatalf("key %d: wrong value %q", k, vals[i])
+		}
+	}
+	batches := st.AggregateStats().BatchLocks - before
+	if batches > uint64(st.NumShards()) {
+		t.Fatalf("batch took %d shard-lock acquisitions, want <= %d", batches, st.NumShards())
+	}
+}
+
+// TestShardOfSpreads sanity-checks the shard mapping: sequential keys
+// must not pile onto one shard.
+func TestShardOfSpreads(t *testing.T) {
+	st := New(Config{Shards: 16})
+	counts := make([]int, st.NumShards())
+	const n = 16_000
+	for k := uint64(0); k < n; k++ {
+		counts[st.ShardOf(k)]++
+	}
+	for i, c := range counts {
+		if c < n/st.NumShards()/2 || c > n/st.NumShards()*2 {
+			t.Errorf("shard %d holds %d of %d sequential keys; mapping too skewed", i, c, n)
+		}
+	}
+}
+
+// TestStatsCount checks the per-shard counters add up.
+func TestStatsCount(t *testing.T) {
+	st := New(Config{Shards: 4})
+	w := newTestWorker()
+	for k := uint64(0); k < 100; k++ {
+		st.Put(w, k, []byte("x"))
+	}
+	for k := uint64(0); k < 50; k++ {
+		st.Get(w, k)
+	}
+	for k := uint64(0); k < 25; k++ {
+		st.Delete(w, k)
+	}
+	agg := st.AggregateStats()
+	if agg.Puts != 100 || agg.Gets != 50 || agg.Deletes != 25 {
+		t.Fatalf("aggregate = %+v, want 100 puts / 50 gets / 25 deletes", agg)
+	}
+	if agg.Ops() != 175 {
+		t.Fatalf("Ops() = %d, want 175", agg.Ops())
+	}
+	if got := st.Len(w); got != 75 {
+		t.Fatalf("Len = %d, want 75", got)
+	}
+}

@@ -1,0 +1,129 @@
+package shardedkv
+
+import (
+	"repro/internal/storage/btree"
+	"repro/internal/storage/hashkv"
+	"repro/internal/storage/lsm"
+	"repro/internal/storage/skiplist"
+)
+
+// This file adapts the four storage substrates to the Engine
+// interface. Each adapter assumes the shard lock serialises access,
+// matching the substrates' own contracts ("the caller must hold the
+// slot lock" etc.).
+
+// hashEngine wraps the Kyoto-style chained hash table. The table's own
+// slot partitioning is collapsed to a single slot: partitioning is the
+// Store's job here, and one shard = one independently locked region.
+type hashEngine struct{ t *hashkv.Table }
+
+// NewHashEngine returns a hash-table engine with the given bucket
+// count (0 means 256).
+func NewHashEngine(buckets int) Engine {
+	if buckets <= 0 {
+		buckets = 256
+	}
+	return &hashEngine{t: hashkv.New(1, buckets)}
+}
+
+func (e *hashEngine) Get(k uint64) ([]byte, bool) { return e.t.Get(k) }
+func (e *hashEngine) Put(k uint64, v []byte) bool { return e.t.Put(k, v) }
+func (e *hashEngine) Delete(k uint64) bool        { return e.t.Delete(k) }
+func (e *hashEngine) Len() int                    { return e.t.Len() }
+
+// btreeEngine wraps the in-place B+tree.
+type btreeEngine struct{ t *btree.Tree }
+
+// NewBTreeEngine returns a B+tree engine.
+func NewBTreeEngine() Engine { return &btreeEngine{t: btree.New()} }
+
+func (e *btreeEngine) Get(k uint64) ([]byte, bool) { return e.t.Get(k) }
+func (e *btreeEngine) Put(k uint64, v []byte) bool { return e.t.Put(k, v) }
+func (e *btreeEngine) Delete(k uint64) bool        { return e.t.Delete(k) }
+func (e *btreeEngine) Len() int                    { return e.t.Len() }
+
+// skiplistEngine wraps the LevelDB-style skiplist.
+type skiplistEngine struct{ l *skiplist.List }
+
+// NewSkiplistEngine returns a skiplist engine seeded for tower-height
+// draws.
+func NewSkiplistEngine(seed uint64) Engine {
+	return &skiplistEngine{l: skiplist.New(seed)}
+}
+
+func (e *skiplistEngine) Get(k uint64) ([]byte, bool) { return e.l.Get(k) }
+func (e *skiplistEngine) Put(k uint64, v []byte) bool { return e.l.Put(k, v) }
+func (e *skiplistEngine) Delete(k uint64) bool        { return e.l.Delete(k) }
+func (e *skiplistEngine) Len() int                    { return e.l.Len() }
+
+// lsmEngine wraps the LSM store. The substrate has no delete and does
+// not report insert-vs-replace, so the adapter prefixes every stored
+// value with a one-byte tag (liveTag or tombTag) and keeps a live-key
+// set for O(1) existence checks on the write path (sparing a full
+// memtable+runs lookup per Put/Delete); tombstones stay in the LSM
+// (where only compaction could drop them) but are invisible through
+// the Engine interface.
+type lsmEngine struct {
+	s    *lsm.Store
+	live map[uint64]struct{}
+}
+
+const (
+	liveTag = 0x00
+	tombTag = 0x01
+)
+
+// NewLSMEngine returns an LSM engine. FlushBytes 0 keeps the
+// substrate's default memtable size.
+func NewLSMEngine(seed uint64, flushBytes int) Engine {
+	s := lsm.New(seed)
+	s.FlushBytes = flushBytes
+	return &lsmEngine{s: s, live: make(map[uint64]struct{})}
+}
+
+func (e *lsmEngine) Get(k uint64) ([]byte, bool) {
+	v, ok := e.s.Get(k)
+	if !ok || len(v) == 0 || v[0] == tombTag {
+		return nil, false
+	}
+	return v[1:], true
+}
+
+func (e *lsmEngine) Put(k uint64, v []byte) bool {
+	_, existed := e.live[k]
+	tagged := make([]byte, 1+len(v))
+	tagged[0] = liveTag
+	copy(tagged[1:], v)
+	e.s.Put(k, tagged)
+	e.live[k] = struct{}{}
+	return !existed
+}
+
+func (e *lsmEngine) Delete(k uint64) bool {
+	if _, existed := e.live[k]; !existed {
+		return false
+	}
+	e.s.Put(k, []byte{tombTag})
+	delete(e.live, k)
+	return true
+}
+
+func (e *lsmEngine) Len() int { return len(e.live) }
+
+// EngineSpec names an engine constructor so benchmarks and tests can
+// sweep the full engine set.
+type EngineSpec struct {
+	Name string
+	New  func(shard int) Engine
+}
+
+// AllEngines returns the four engine constructors, deterministically
+// seeded per shard where the substrate takes a seed.
+func AllEngines() []EngineSpec {
+	return []EngineSpec{
+		{Name: "hashkv", New: func(int) Engine { return NewHashEngine(256) }},
+		{Name: "btree", New: func(int) Engine { return NewBTreeEngine() }},
+		{Name: "skiplist", New: func(i int) Engine { return NewSkiplistEngine(uint64(i)*0x9e3779b97f4a7c15 + 1) }},
+		{Name: "lsm", New: func(i int) Engine { return NewLSMEngine(uint64(i)*0xbf58476d1ce4e5b9+1, 1<<16) }},
+	}
+}

@@ -1,0 +1,303 @@
+// Package shardedkv composes the repository's pieces into a servable
+// KV layer: N shards, each an independently contended lock guarding a
+// pluggable storage engine.
+//
+// Layering (top to bottom):
+//
+//	Store            — key → shard routing, batched MultiGet/MultiPut
+//	locks.WLock      — one lock per shard; ASLMutex by default, so
+//	                   big-core workers take the FIFO fast path and
+//	                   little-core workers stand by within their
+//	                   epoch's reorder window (paper Algorithm 3)
+//	Engine           — hashkv / btree / lsm / skiplist behind one
+//	                   interface; engines are single-writer structures
+//	                   and rely entirely on the shard lock
+//
+// The paper evaluates LibASL under databases whose lock topology is a
+// handful of global locks (Table 1); a sharded store is the natural
+// production topology on top: each shard is exactly the kind of
+// heavily contended, short-critical-section lock the reorderable
+// algorithm targets, and admission decisions stay local to the shard
+// (compare "Fissile Locks" and Dice & Kogan's concurrency-restriction
+// argument for keeping such decisions cheap and per-lock).
+//
+// Batched operations sort keys by shard so each shard lock is taken at
+// most once per batch, turning k point-lookups into one acquisition
+// per touched shard; under asymmetric contention this matters doubly,
+// because every acquisition a little-core worker avoids is one fewer
+// standby wait.
+//
+// Store is safe for concurrent use by any number of workers; each
+// worker must own its *core.Worker (they are per-goroutine, like the
+// paper's __thread state).
+//
+// Value ownership follows the embedded-KV convention: Put retains the
+// value slice by reference, so the caller must not modify it after
+// the call (pass a copy to reuse a buffer), and Get returns the
+// stored slice, which the caller must treat as read-only.
+package shardedkv
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/locks"
+	"repro/internal/prng"
+)
+
+// Engine is the per-shard storage interface. Implementations are NOT
+// required to be concurrency-safe: the shard lock serialises all
+// access, exactly as the slot locks do in the Kyoto-like engine.
+type Engine interface {
+	// Get reads k. The returned slice is the stored one: read-only
+	// for the caller.
+	Get(k uint64) ([]byte, bool)
+	// Put stores k=v and reports whether a new key was inserted
+	// (false = an existing key was replaced). v is retained by
+	// reference; the caller must not modify it afterwards.
+	Put(k uint64, v []byte) bool
+	// Delete removes k and reports whether it was present.
+	Delete(k uint64) bool
+	// Len returns the number of live keys.
+	Len() int
+}
+
+// KV is one key/value pair of a batched put.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Config configures a Store.
+type Config struct {
+	// Shards is the shard count; 0 means 16.
+	Shards int
+	// NewEngine builds shard i's storage engine; nil means hash-table
+	// engines (NewHashEngine).
+	NewEngine func(shard int) Engine
+	// NewLock builds one shard lock; nil means the paper's default
+	// ASL stack (locks.FactoryASL). Use locks.Factory wrappers to
+	// compare plain mutexes, MCS, etc. under identical sharding.
+	NewLock locks.Factory
+	// CSPad, if non-nil, runs once per engine operation while the
+	// shard lock is held. Benchmarks on symmetric hosts use it with
+	// workload.AsymmetryShim to emulate the paper's AMP regime, where
+	// a little-core holder keeps the lock proportionally longer (see
+	// DESIGN.md substitutions). Leave nil in production use.
+	CSPad func(w *core.Worker)
+}
+
+// ShardStats is a snapshot of one shard's operation counters.
+type ShardStats struct {
+	Gets, Puts, Deletes uint64
+	// BatchLocks counts lock acquisitions made on behalf of batched
+	// operations: one per (batch, touched shard), not one per key.
+	BatchLocks uint64
+}
+
+// Ops returns the total point-operation count.
+func (s ShardStats) Ops() uint64 { return s.Gets + s.Puts + s.Deletes }
+
+// shard is one lock+engine pair. The trailing pad keeps adjacent
+// shards' hot counters off each other's cache lines.
+type shard struct {
+	lock    locks.WLock
+	eng     Engine
+	gets    atomic.Uint64
+	puts    atomic.Uint64
+	deletes atomic.Uint64
+	batches atomic.Uint64
+	_       [64]byte
+}
+
+// Store is the sharded KV service layer.
+type Store struct {
+	shards []shard
+	csPad  func(w *core.Worker)
+}
+
+// New builds a store from cfg.
+func New(cfg Config) *Store {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.NewEngine == nil {
+		cfg.NewEngine = func(int) Engine { return NewHashEngine(256) }
+	}
+	if cfg.NewLock == nil {
+		cfg.NewLock = locks.FactoryASL()
+	}
+	s := &Store{shards: make([]shard, cfg.Shards), csPad: cfg.CSPad}
+	for i := range s.shards {
+		s.shards[i].lock = cfg.NewLock()
+		s.shards[i].eng = cfg.NewEngine(i)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardOf maps a key to its shard index (splitmix64's finalizer, so
+// adjacent keys spread across shards).
+func (s *Store) ShardOf(k uint64) int {
+	return int(prng.Mix64(k) % uint64(len(s.shards)))
+}
+
+// Get reads k on behalf of worker w.
+func (s *Store) Get(w *core.Worker, k uint64) ([]byte, bool) {
+	sh := &s.shards[s.ShardOf(k)]
+	sh.lock.Acquire(w)
+	v, ok := sh.eng.Get(k)
+	s.pad(w)
+	sh.lock.Release(w)
+	sh.gets.Add(1)
+	return v, ok
+}
+
+// pad runs the configured critical-section padding, if any.
+func (s *Store) pad(w *core.Worker) {
+	if s.csPad != nil {
+		s.csPad(w)
+	}
+}
+
+// Put stores k=v on behalf of worker w; reports insert-vs-replace.
+func (s *Store) Put(w *core.Worker, k uint64, v []byte) bool {
+	sh := &s.shards[s.ShardOf(k)]
+	sh.lock.Acquire(w)
+	inserted := sh.eng.Put(k, v)
+	s.pad(w)
+	sh.lock.Release(w)
+	sh.puts.Add(1)
+	return inserted
+}
+
+// Delete removes k on behalf of worker w; reports presence.
+func (s *Store) Delete(w *core.Worker, k uint64) bool {
+	sh := &s.shards[s.ShardOf(k)]
+	sh.lock.Acquire(w)
+	present := sh.eng.Delete(k)
+	s.pad(w)
+	sh.lock.Release(w)
+	sh.deletes.Add(1)
+	return present
+}
+
+// Len returns the total live-key count, locking one shard at a time
+// (the answer is a consistent per-shard sum, like Kyoto's count).
+func (s *Store) Len(w *core.Worker) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire(w)
+		n += sh.eng.Len()
+		sh.lock.Release(w)
+	}
+	return n
+}
+
+// byShard groups batch indices by shard: order[g][j] is an index into
+// the caller's batch slice. Groups are visited in ascending shard
+// order; within a group, batch order is preserved (so later puts of a
+// duplicate key win, matching sequential semantics).
+func (s *Store) byShard(n int, shardOf func(i int) int) [][]int {
+	counts := make([]int, len(s.shards))
+	home := make([]int, n)
+	for i := 0; i < n; i++ {
+		home[i] = shardOf(i)
+		counts[home[i]]++
+	}
+	groups := make([][]int, len(s.shards))
+	for sh, c := range counts {
+		if c > 0 {
+			groups[sh] = make([]int, 0, c)
+		}
+	}
+	for i := 0; i < n; i++ {
+		groups[home[i]] = append(groups[home[i]], i)
+	}
+	return groups
+}
+
+// MultiGet reads all keys in one pass, taking each touched shard's
+// lock exactly once. vals[i] and ok[i] correspond to keys[i].
+func (s *Store) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok []bool) {
+	vals = make([][]byte, len(keys))
+	ok = make([]bool, len(keys))
+	groups := s.byShard(len(keys), func(i int) int { return s.ShardOf(keys[i]) })
+	for shIdx, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sh := &s.shards[shIdx]
+		sh.lock.Acquire(w)
+		for _, i := range g {
+			vals[i], ok[i] = sh.eng.Get(keys[i])
+			s.pad(w)
+		}
+		sh.lock.Release(w)
+		sh.gets.Add(uint64(len(g)))
+		sh.batches.Add(1)
+	}
+	return vals, ok
+}
+
+// MultiPut writes all pairs in one pass, taking each touched shard's
+// lock exactly once. Returns the number of newly inserted keys.
+// Duplicate keys within the batch apply in batch order (last wins).
+func (s *Store) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
+	groups := s.byShard(len(kvs), func(i int) int { return s.ShardOf(kvs[i].Key) })
+	for shIdx, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sh := &s.shards[shIdx]
+		sh.lock.Acquire(w)
+		for _, i := range g {
+			if sh.eng.Put(kvs[i].Key, kvs[i].Value) {
+				inserted++
+			}
+			s.pad(w)
+		}
+		sh.lock.Release(w)
+		sh.puts.Add(uint64(len(g)))
+		sh.batches.Add(1)
+	}
+	return inserted
+}
+
+// Stats snapshots every shard's counters. The snapshot is not atomic
+// across shards (counters advance concurrently), which is fine for the
+// throughput reporting it feeds.
+func (s *Store) Stats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out[i] = ShardStats{
+			Gets:       sh.gets.Load(),
+			Puts:       sh.puts.Load(),
+			Deletes:    sh.deletes.Load(),
+			BatchLocks: sh.batches.Load(),
+		}
+	}
+	return out
+}
+
+// AggregateStats sums Stats across shards.
+func (s *Store) AggregateStats() ShardStats {
+	var agg ShardStats
+	for _, st := range s.Stats() {
+		agg.Gets += st.Gets
+		agg.Puts += st.Puts
+		agg.Deletes += st.Deletes
+		agg.BatchLocks += st.BatchLocks
+	}
+	return agg
+}
+
+// String summarises the shard layout.
+func (s *Store) String() string {
+	return fmt.Sprintf("shardedkv.Store{shards: %d}", len(s.shards))
+}

@@ -44,9 +44,17 @@ func NewClassedRecorder() *ClassedRecorder {
 // Record adds one completed operation of the given class with the given
 // latency in nanoseconds.
 func (r *ClassedRecorder) Record(c Class, latencyNs int64) {
+	r.RecordBatch(c, latencyNs, 1)
+}
+
+// RecordBatch adds one completed batched request that covered ops
+// operations: one latency sample (the request's), ops counted toward
+// throughput. Keeps batched rows in the same ops/s unit as point rows
+// while P99 stays per request.
+func (r *ClassedRecorder) RecordBatch(c Class, latencyNs int64, ops uint64) {
 	r.perClass[c].Record(latencyNs)
 	r.overall.Record(latencyNs)
-	r.ops[c]++
+	r.ops[c] += ops
 }
 
 // Merge folds o into r.

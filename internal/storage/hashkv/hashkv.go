@@ -5,6 +5,8 @@
 // layer locks the slot that owns a key.
 package hashkv
 
+import "repro/internal/prng"
+
 // entry is one chained key/value pair.
 type entry struct {
 	key  uint64
@@ -42,16 +44,9 @@ func (t *Table) SlotOf(k uint64) int {
 	return int(mix(k) % uint64(len(t.slots)))
 }
 
-// mix is a strong 64-bit finalizer (splitmix64's) so adjacent keys
-// spread across slots.
-func mix(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// mix is a strong 64-bit finalizer (splitmix64's, shared via prng) so
+// adjacent keys spread across slots.
+func mix(x uint64) uint64 { return prng.Mix64(x) }
 
 func (t *Table) slotAndBucket(k uint64) (*Slot, int) {
 	s := &t.slots[t.SlotOf(k)]

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	const n = 1000
+	z := NewZipf(n, 0.99)
+	if z.N() != n {
+		t.Fatalf("N = %d", z.N())
+	}
+	rng := prng.NewSplitMix64(1)
+	counts := make([]int, n)
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		k := z.Draw(rng)
+		if k >= n {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Zipf(0.99): rank 0 carries a large constant share; the head must
+	// dominate and the tail must still be reachable.
+	if counts[0] < draws/20 {
+		t.Errorf("rank 0 drawn %d of %d; distribution not skewed", counts[0], draws)
+	}
+	if counts[0] <= counts[n-1] {
+		t.Errorf("rank 0 (%d) should dominate rank %d (%d)", counts[0], n-1, counts[n-1])
+	}
+	tail := 0
+	for _, c := range counts[n/2:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Error("upper half of keyspace never drawn; tail unreachable")
+	}
+	// Top-1% of keys should carry well over half the mass at theta 0.99
+	// over 1000 keys (the hot-shard regime the KV benchmarks model).
+	head := 0
+	for _, c := range counts[:n/100] {
+		head += c
+	}
+	if head < draws/4 {
+		t.Errorf("top 1%% of keys carry only %d of %d draws", head, draws)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(512, 0.9)
+	a, b := prng.NewSplitMix64(7), prng.NewSplitMix64(7)
+	for i := 0; i < 1000; i++ {
+		if z.Draw(a) != z.Draw(b) {
+			t.Fatal("same seed must reproduce the same key sequence")
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(64)
+	rng := prng.NewSplitMix64(3)
+	counts := make([]int, 64)
+	for i := 0; i < 64_000; i++ {
+		k := u.Draw(rng)
+		if k >= 64 {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Errorf("key %d drawn %d times of 64000; not uniform", k, c)
+		}
+	}
+}
+
+func TestServiceMixProportions(t *testing.T) {
+	count := func(m *Mix, k OpKind) int {
+		rng := prng.NewSplitMix64(11)
+		c := 0
+		for i := 0; i < 10_000; i++ {
+			if m.Draw(rng.Uint64()) == k {
+				c++
+			}
+		}
+		return c
+	}
+	if gets := count(ReadHeavy(), OpGet); gets < 9_300 || gets > 9_700 {
+		t.Errorf("ReadHeavy gets = %d of 10000, want ~9500", gets)
+	}
+	if puts := count(WriteHeavy(), OpPut); puts < 7_600 || puts > 8_400 {
+		t.Errorf("WriteHeavy puts = %d of 10000, want ~8000", puts)
+	}
+}
