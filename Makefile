@@ -2,16 +2,23 @@
 # runs the race detector over the concurrency-bearing packages.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check build vet test short race bench
+.PHONY: check build vet fmt-check test short race bench
 
-check: vet build test
+check: vet fmt-check build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -11,7 +11,9 @@
 //	kvbench -threads 8 -bigs 4 -slo 200us -dur 1s -shardstats
 //
 // Mixes: read (95% get), write (80% put), zipf (YCSB-A 50/50 over
-// zipfian keys), batch (MultiGet/MultiPut, keys sorted by shard).
+// zipfian keys), batch (MultiGet/MultiPut, keys sorted by shard),
+// scan (YCSB-E 95% range scan / 5% put over -span-wide windows), and
+// scanbatch (MultiRange, -batch ranges per request grouped by shard).
 // Locks: asl, asl-blocking (for hosts with more workers than cores),
 // mutex, mcs, pthread.
 package main
@@ -43,6 +45,7 @@ type benchConfig struct {
 	keys     uint64
 	vsize    int
 	batch    int
+	span     uint64
 	zipfS    float64
 	ncsUnits int64
 	csUnits  int64
@@ -63,6 +66,8 @@ func allMixes() []mixSpec {
 		{name: "write", mix: workload.WriteHeavy()},
 		{name: "zipf", mix: workload.YCSBA(), zipf: true},
 		{name: "batch", mix: workload.ReadHeavy(), batched: true},
+		{name: "scan", mix: workload.ScanHeavy()},
+		{name: "scanbatch", mix: workload.ScanHeavy(), batched: true},
 	}
 }
 
@@ -85,6 +90,17 @@ func allLocks() []lockSpec {
 		{name: "mcs", f: locks.FactoryMCS()},
 		{name: "pthread", f: locks.FactoryPthread()},
 	}
+}
+
+// spanHi returns lo+span-1 clamped to the top of the key space: a lo
+// drawn near MaxUint64 must widen to the end, not wrap into an empty
+// range.
+func spanHi(lo, span uint64) uint64 {
+	hi := lo + span - 1
+	if hi < lo {
+		return ^uint64(0)
+	}
+	return hi
 }
 
 // preload fills half the keyspace so gets have something to hit.
@@ -142,17 +158,31 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 			ncs := shim.NCSUnits(cfg.ncsUnits, class)
 			kvs := make([]shardedkv.KV, cfg.batch)
 			keys := make([]uint64, cfg.batch)
+			reqs := make([]shardedkv.RangeReq, cfg.batch)
 			// doOp returns the number of point operations the request
-			// covered, so batched rows report ops/s in the same unit
-			// as point rows (P99 stays per request).
+			// covered — batch size for batched ops, keys visited for
+			// scans — so every row reports ops/s in the same per-key
+			// unit (P99 stays per request).
 			doOp := func() uint64 {
+				kind := mix.mix.Draw(rng.Uint64())
 				if mix.batched {
-					if mix.mix.Draw(rng.Uint64()) == workload.OpGet {
+					switch kind {
+					case workload.OpScan:
+						for j := range reqs {
+							lo := keygen.Draw(rng)
+							reqs[j] = shardedkv.RangeReq{Lo: lo, Hi: spanHi(lo, cfg.span)}
+						}
+						visited := uint64(0)
+						for _, res := range st.MultiRange(w, reqs) {
+							visited += uint64(len(res))
+						}
+						return max(visited, 1)
+					case workload.OpGet:
 						for j := range keys {
 							keys[j] = keygen.Draw(rng)
 						}
 						st.MultiGet(w, keys)
-					} else {
+					default:
 						for j := range kvs {
 							kvs[j] = shardedkv.KV{Key: keygen.Draw(rng), Value: val}
 						}
@@ -161,9 +191,17 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 					return uint64(cfg.batch)
 				}
 				k := keygen.Draw(rng)
-				if mix.mix.Draw(rng.Uint64()) == workload.OpGet {
+				switch kind {
+				case workload.OpScan:
+					visited := uint64(0)
+					st.Range(w, k, spanHi(k, cfg.span), func(uint64, []byte) bool {
+						visited++
+						return true
+					})
+					return max(visited, 1)
+				case workload.OpGet:
 					st.Get(w, k)
-				} else {
+				default:
 					st.Put(w, k, val)
 				}
 				return 1
@@ -223,7 +261,7 @@ func pick[T any](sel string, specs []T, name func(T) string) ([]T, error) {
 
 func main() {
 	engines := flag.String("engines", "all", "comma list of hashkv|btree|skiplist|lsm, or all")
-	mixes := flag.String("mixes", "all", "comma list of read|write|zipf|batch, or all")
+	mixes := flag.String("mixes", "all", "comma list of read|write|zipf|batch|scan|scanbatch, or all")
 	lockSel := flag.String("locks", "asl,mutex", "comma list of asl|asl-blocking|mutex|mcs|pthread, or all")
 	shards := flag.Int("shards", 16, "shard count")
 	threads := flag.Int("threads", 8, "total workers (first -bigs are big-class)")
@@ -233,7 +271,8 @@ func main() {
 	slo := flag.Duration("slo", 100*time.Microsecond, "epoch SLO for asl locks; negative disables epochs")
 	keys := flag.Uint64("keys", 1<<16, "keyspace size")
 	vsize := flag.Int("vsize", 64, "value size in bytes")
-	batch := flag.Int("batch", 16, "keys per batched operation")
+	batch := flag.Int("batch", 16, "keys (or ranges) per batched operation")
+	span := flag.Uint64("span", 256, "key width of each range for the scan mixes")
 	zipfS := flag.Float64("zipf", 0.99, "zipfian theta for the zipf mix")
 	ncsGap := flag.Duration("ncs", 500*time.Nanosecond, "big-core inter-op gap (littles scaled by the shim)")
 	csPad := flag.Duration("cs", 300*time.Nanosecond, "big-core critical-section pad (littles scaled by the shim); 0 disables")
@@ -242,6 +281,10 @@ func main() {
 
 	if *batch < 1 {
 		fmt.Fprintf(os.Stderr, "kvbench: -batch must be >= 1 (got %d)\n", *batch)
+		os.Exit(2)
+	}
+	if *span < 1 {
+		fmt.Fprintf(os.Stderr, "kvbench: -span must be >= 1 (got %d)\n", *span)
 		os.Exit(2)
 	}
 	if *zipfS <= 0 || *zipfS >= 1 {
@@ -276,6 +319,7 @@ func main() {
 		keys:     *keys,
 		vsize:    *vsize,
 		batch:    *batch,
+		span:     *span,
 		zipfS:    *zipfS,
 		ncsUnits: cal.Units(*ncsGap),
 	}
@@ -306,8 +350,8 @@ func main() {
 	if *shardstats && lastShards != nil {
 		fmt.Println("per-shard counters (last configuration):")
 		for i, s := range lastShards {
-			fmt.Printf("shard %2d: gets=%d puts=%d deletes=%d batchLocks=%d\n",
-				i, s.Gets, s.Puts, s.Deletes, s.BatchLocks)
+			fmt.Printf("shard %2d: gets=%d puts=%d deletes=%d scans=%d batchLocks=%d\n",
+				i, s.Gets, s.Puts, s.Deletes, s.Scans, s.BatchLocks)
 		}
 	}
 }

@@ -13,10 +13,16 @@
 // one lock (an ASLMutex by default, so admission follows the paper's
 // big/little policy per shard) with one pluggable storage engine
 // (internal/storage/{hashkv,btree,lsm,skiplist}). Batched operations
-// sort keys by shard to take each shard lock once per batch.
-// cmd/kvbench benchmarks the layer across engines, workload mixes
-// (including zipfian skew from internal/workload) and lock choices,
-// and examples/shardedkv walks through ASL-vs-sync.Mutex shard locks.
+// sort keys by shard to take each shard lock once per batch, and
+// ordered range scans run end to end: every engine implements Range
+// (the LSM via a merged memtable+runs iterator over first-class
+// tombstones, the hash table via collect-and-sort), and the Store
+// merges per-shard slices into one ascending emission (Range) or
+// batches several ranges through one pass over the shards
+// (MultiRange). cmd/kvbench benchmarks the layer across engines,
+// workload mixes (zipfian skew and the YCSB-E-style scan mix from
+// internal/workload) and lock choices, and examples/shardedkv walks
+// through ASL-vs-sync.Mutex shard locks.
 package repro
 
 // Version identifies this reproduction build.

@@ -121,9 +121,31 @@ func runService(name string, factory locks.Factory, useSLO bool, threads, bigsN 
 	}
 	takes := st.AggregateStats().BatchLocks - before
 
+	// Ordered-scan epilogue: one Range over a 4k-key window locks each
+	// shard once, then merges the per-shard slices into ascending key
+	// order — the data-dependent long critical section the reorder
+	// window exists to absorb. MultiRange pushes two ranges through a
+	// single pass over the shards.
+	scanLo, scanHi := uint64(keyspace/4), uint64(keyspace/4+4095)
+	scanned, ordered := 0, true
+	var last uint64
+	st.Range(bw, scanLo, scanHi, func(k uint64, _ []byte) bool {
+		if scanned > 0 && k <= last {
+			ordered = false
+		}
+		last = k
+		scanned++
+		return true
+	})
+	pair := st.MultiRange(bw, []shardedkv.RangeReq{
+		{Lo: 0, Hi: 1023},
+		{Lo: keyspace - 1024, Hi: keyspace - 1},
+	})
 	agg := st.AggregateStats()
 	fmt.Printf("  %-12s %d shards served %d ops; MultiGet(64 keys) hit %d keys with %d lock takes\n",
 		name+":", st.NumShards(), agg.Ops(), hits, takes)
+	fmt.Printf("  %-12s Range[%d,%d] yielded %d keys (ordered=%v); MultiRange batch found %d+%d keys; %d per-shard scans\n",
+		"", scanLo, scanHi, scanned, ordered, len(pair[0]), len(pair[1]), agg.Scans)
 	return merged.Summarize(name, duration)
 }
 

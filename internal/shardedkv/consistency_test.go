@@ -21,6 +21,37 @@ func value(k uint64, ver int) []byte {
 	return []byte(fmt.Sprintf("v%d-%x", ver, k))
 }
 
+// collectRange gathers st.Range output and verifies strict ascending
+// key order as it goes.
+func collectRange(t *testing.T, st *Store, w *core.Worker, lo, hi uint64) []KV {
+	t.Helper()
+	var out []KV
+	st.Range(w, lo, hi, func(k uint64, v []byte) bool {
+		if k < lo || k > hi {
+			t.Fatalf("Range[%d,%d] emitted out-of-range key %d", lo, hi, k)
+		}
+		if len(out) > 0 && k <= out[len(out)-1].Key {
+			t.Fatalf("Range[%d,%d] emitted %d after %d: out of order", lo, hi, k, out[len(out)-1].Key)
+		}
+		out = append(out, KV{Key: k, Value: v})
+		return true
+	})
+	return out
+}
+
+// sameKVs compares two ordered KV lists.
+func sameKVs(a, b []KV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || !bytes.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
 // TestCrossEngineConsistency drives the same seeded op sequence
 // through a store on each engine and demands identical results op by
 // op and identical final state.
@@ -40,7 +71,7 @@ func TestCrossEngineConsistency(t *testing.T) {
 	ver := 0
 	for op := 0; op < ops; op++ {
 		k := rng.Uint64() % keyspace
-		switch rng.Uint64() % 4 {
+		switch rng.Uint64() % 5 {
 		case 0: // put
 			ver++
 			v := value(k, ver)
@@ -75,6 +106,19 @@ func TestCrossEngineConsistency(t *testing.T) {
 				} else if got != want {
 					t.Fatalf("op %d: Delete(%d) present=%v on %s, %v on %s",
 						op, k, want, specs[0].Name, got, specs[i].Name)
+				}
+			}
+		case 3: // range scan
+			lo := k
+			hi := lo + rng.Uint64()%128
+			var want []KV
+			for i, st := range stores {
+				got := collectRange(t, st, w, lo, hi)
+				if i == 0 {
+					want = got
+				} else if !sameKVs(got, want) {
+					t.Fatalf("op %d: Range[%d,%d] yields %d pairs on %s, %d on %s",
+						op, lo, hi, len(want), specs[0].Name, len(got), specs[i].Name)
 				}
 			}
 		default: // batched puts + batched gets
@@ -138,6 +182,176 @@ func TestCrossEngineConsistency(t *testing.T) {
 	}
 	if live != wantLen {
 		t.Fatalf("final Len %d does not match live key count %d", wantLen, live)
+	}
+	// Final ordered view: a full-range scan on every engine must agree
+	// pair-for-pair and cover exactly the live keys.
+	wantScan := collectRange(t, stores[0], w, 0, ^uint64(0))
+	if len(wantScan) != wantLen {
+		t.Fatalf("full Range yielded %d pairs, Len says %d", len(wantScan), wantLen)
+	}
+	for i := 1; i < len(stores); i++ {
+		if got := collectRange(t, stores[i], w, 0, ^uint64(0)); !sameKVs(got, wantScan) {
+			t.Fatalf("final full Range differs between %s and %s", specs[0].Name, specs[i].Name)
+		}
+	}
+}
+
+// TestRangeConsistencyAfterDeletes is the shared ordered-Range check:
+// interleaved puts and deletes (heavy enough to push the LSM through
+// freezes and tombstone-dropping merges), then every engine must
+// return identical ordered results for full and partial ranges.
+func TestRangeConsistencyAfterDeletes(t *testing.T) {
+	const keyspace = 1 << 9
+	specs := AllEngines()
+	stores := make([]*Store, len(specs))
+	for i, spec := range specs {
+		newEng := spec.New
+		if spec.Name == "lsm" {
+			// Small LSM memtables force the delete/range paths through
+			// frozen runs and tombstone-dropping merges, not just the
+			// memtable.
+			newEng = func(sh int) Engine { return NewLSMEngine(uint64(sh)+1, 1<<9) }
+		}
+		stores[i] = New(Config{Shards: 8, NewEngine: newEng})
+	}
+	w := newTestWorker()
+	rng := prng.NewSplitMix64(7)
+	ref := map[uint64][]byte{}
+	for op := 0; op < 30_000; op++ {
+		k := rng.Uint64() % keyspace
+		if rng.Uint64()%3 == 0 {
+			for _, st := range stores {
+				st.Delete(w, k)
+			}
+			delete(ref, k)
+		} else {
+			v := value(k, op)
+			for _, st := range stores {
+				st.Put(w, k, v)
+			}
+			ref[k] = v
+		}
+	}
+	for _, span := range []struct{ lo, hi uint64 }{
+		{0, ^uint64(0)},
+		{0, keyspace / 2},
+		{keyspace / 4, keyspace/4 + 63},
+		{keyspace, 2 * keyspace}, // empty
+	} {
+		var want []KV
+		for i, st := range stores {
+			got := collectRange(t, st, w, span.lo, span.hi)
+			for _, kv := range got {
+				if refV, ok := ref[kv.Key]; !ok || !bytes.Equal(refV, kv.Value) {
+					t.Fatalf("%s: Range[%d,%d] key %d disagrees with reference",
+						specs[i].Name, span.lo, span.hi, kv.Key)
+				}
+			}
+			if i == 0 {
+				want = got
+				inRange := 0
+				for k := range ref {
+					if k >= span.lo && k <= span.hi {
+						inRange++
+					}
+				}
+				if len(want) != inRange {
+					t.Fatalf("Range[%d,%d] yielded %d pairs, reference holds %d",
+						span.lo, span.hi, len(want), inRange)
+				}
+			} else if !sameKVs(got, want) {
+				t.Fatalf("Range[%d,%d] differs between %s and %s",
+					span.lo, span.hi, specs[0].Name, specs[i].Name)
+			}
+		}
+	}
+}
+
+// TestMultiRangeMatchesSingleRanges pins MultiRange semantics: each
+// request's result equals the equivalent standalone Range, and the
+// whole batch takes each shard lock once.
+func TestMultiRangeMatchesSingleRanges(t *testing.T) {
+	for _, spec := range AllEngines() {
+		t.Run(spec.Name, func(t *testing.T) {
+			st := New(Config{Shards: 4, NewEngine: spec.New})
+			w := newTestWorker()
+			for k := uint64(0); k < 512; k += 3 {
+				st.Put(w, k, value(k, 1))
+			}
+			reqs := []RangeReq{
+				{Lo: 0, Hi: 100},
+				{Lo: 50, Hi: 200},   // overlapping
+				{Lo: 400, Hi: 380},  // inverted: empty
+				{Lo: 900, Hi: 1000}, // beyond data: empty
+			}
+			before := st.AggregateStats()
+			got := st.MultiRange(w, reqs)
+			after := st.AggregateStats()
+			if after.BatchLocks-before.BatchLocks != uint64(st.NumShards()) {
+				t.Fatalf("MultiRange took %d batch locks, want one per shard (%d)",
+					after.BatchLocks-before.BatchLocks, st.NumShards())
+			}
+			if after.Scans-before.Scans != uint64(st.NumShards()*len(reqs)) {
+				t.Fatalf("MultiRange counted %d scans, want %d",
+					after.Scans-before.Scans, st.NumShards()*len(reqs))
+			}
+			if len(got) != len(reqs) {
+				t.Fatalf("MultiRange returned %d results for %d requests", len(got), len(reqs))
+			}
+			for i, r := range reqs {
+				want := collectRange(t, st, w, r.Lo, r.Hi)
+				if !sameKVs(got[i], want) {
+					t.Fatalf("request %d [%d,%d]: MultiRange and Range disagree (%d vs %d pairs)",
+						i, r.Lo, r.Hi, len(got[i]), len(want))
+				}
+			}
+			if len(got[2]) != 0 || len(got[3]) != 0 {
+				t.Fatalf("empty-span requests returned %d and %d pairs", len(got[2]), len(got[3]))
+			}
+		})
+	}
+}
+
+// TestBatchEdgeSemantics pins the edge cases of the batched ops:
+// duplicate keys within one MultiGet, and empty batches of every kind.
+func TestBatchEdgeSemantics(t *testing.T) {
+	for _, spec := range AllEngines() {
+		t.Run(spec.Name, func(t *testing.T) {
+			st := New(Config{Shards: 4, NewEngine: spec.New})
+			w := newTestWorker()
+			st.Put(w, 9, []byte("nine"))
+			// Duplicate keys in one MultiGet: every occurrence answers.
+			vals, oks := st.MultiGet(w, []uint64{9, 9, 1, 9})
+			for _, i := range []int{0, 1, 3} {
+				if !oks[i] || string(vals[i]) != "nine" {
+					t.Fatalf("duplicate MultiGet slot %d = (%q, %v)", i, vals[i], oks[i])
+				}
+			}
+			if oks[2] {
+				t.Fatal("absent key reported present")
+			}
+			// Duplicate put+delete... a put batch where the same key is
+			// inserted twice counts one insert (exercised in
+			// TestMultiPutDuplicateKeysLastWins); empty batches are
+			// no-ops that return aligned empties.
+			if vals, oks := st.MultiGet(w, nil); len(vals) != 0 || len(oks) != 0 {
+				t.Fatal("empty MultiGet must return empty slices")
+			}
+			if ins := st.MultiPut(w, nil); ins != 0 {
+				t.Fatalf("empty MultiPut inserted %d", ins)
+			}
+			if out := st.MultiRange(w, nil); len(out) != 0 {
+				t.Fatal("empty MultiRange must return an empty result set")
+			}
+			before := st.AggregateStats()
+			st.MultiGet(w, []uint64{})
+			st.MultiPut(w, []KV{})
+			st.MultiRange(w, []RangeReq{})
+			after := st.AggregateStats()
+			if after.BatchLocks != before.BatchLocks {
+				t.Fatalf("empty batches took %d shard locks", after.BatchLocks-before.BatchLocks)
+			}
+		})
 	}
 }
 

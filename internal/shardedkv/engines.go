@@ -1,6 +1,8 @@
 package shardedkv
 
 import (
+	"sort"
+
 	"repro/internal/storage/btree"
 	"repro/internal/storage/hashkv"
 	"repro/internal/storage/lsm"
@@ -17,19 +19,75 @@ import (
 // Store's job here, and one shard = one independently locked region.
 type hashEngine struct{ t *hashkv.Table }
 
-// NewHashEngine returns a hash-table engine with the given bucket
-// count (0 means 256).
+// NewHashEngine returns a hash-table engine with the given initial
+// bucket count (0 means 256). The table grows its bucket array under
+// load, so chains stay bounded however many keys the shard absorbs.
 func NewHashEngine(buckets int) Engine {
 	if buckets <= 0 {
 		buckets = 256
 	}
-	return &hashEngine{t: hashkv.New(1, buckets)}
+	return &hashEngine{t: hashkv.NewGrowing(1, buckets)}
 }
 
 func (e *hashEngine) Get(k uint64) ([]byte, bool) { return e.t.Get(k) }
 func (e *hashEngine) Put(k uint64, v []byte) bool { return e.t.Put(k, v) }
 func (e *hashEngine) Delete(k uint64) bool        { return e.t.Delete(k) }
 func (e *hashEngine) Len() int                    { return e.t.Len() }
+
+// Range is ordered even though the table is not: the substrate
+// collects matching chain entries and sorts them under the shard lock.
+func (e *hashEngine) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	e.t.Range(lo, hi, fn)
+}
+
+// BatchRange serves a whole request batch in ONE chain walk: the
+// table's Range costs a full O(n) walk regardless of span, so running
+// it per request would multiply that walk (and its sort) by the batch
+// size while the shard lock is held. Requests are merged into disjoint
+// segments, each walked entry is matched against them by binary
+// search, and the single sorted match list is sliced per request.
+func (e *hashEngine) BatchRange(reqs []RangeReq, emit func(req int, k uint64, v []byte)) {
+	segs := make([]RangeReq, 0, len(reqs))
+	for _, r := range reqs {
+		if r.Lo <= r.Hi {
+			segs = append(segs, r)
+		}
+	}
+	if len(segs) == 0 {
+		return
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Lo < segs[j].Lo })
+	merged := segs[:1]
+	for _, sg := range segs[1:] {
+		if last := &merged[len(merged)-1]; sg.Lo <= last.Hi {
+			if sg.Hi > last.Hi {
+				last.Hi = sg.Hi
+			}
+		} else {
+			merged = append(merged, sg)
+		}
+	}
+	type kv struct {
+		k uint64
+		v []byte
+	}
+	var matched []kv
+	e.t.Scan(func(k uint64, v []byte) bool {
+		// Disjoint segments sorted by Lo are sorted by Hi too.
+		i := sort.Search(len(merged), func(i int) bool { return merged[i].Hi >= k })
+		if i < len(merged) && merged[i].Lo <= k {
+			matched = append(matched, kv{k, v})
+		}
+		return true
+	})
+	sort.Slice(matched, func(i, j int) bool { return matched[i].k < matched[j].k })
+	for ri, r := range reqs {
+		i := sort.Search(len(matched), func(i int) bool { return matched[i].k >= r.Lo })
+		for ; i < len(matched) && matched[i].k <= r.Hi; i++ {
+			emit(ri, matched[i].k, matched[i].v)
+		}
+	}
+}
 
 // btreeEngine wraps the in-place B+tree.
 type btreeEngine struct{ t *btree.Tree }
@@ -41,6 +99,10 @@ func (e *btreeEngine) Get(k uint64) ([]byte, bool) { return e.t.Get(k) }
 func (e *btreeEngine) Put(k uint64, v []byte) bool { return e.t.Put(k, v) }
 func (e *btreeEngine) Delete(k uint64) bool        { return e.t.Delete(k) }
 func (e *btreeEngine) Len() int                    { return e.t.Len() }
+
+func (e *btreeEngine) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	e.t.Range(lo, hi, fn)
+}
 
 // skiplistEngine wraps the LevelDB-style skiplist.
 type skiplistEngine struct{ l *skiplist.List }
@@ -56,59 +118,33 @@ func (e *skiplistEngine) Put(k uint64, v []byte) bool { return e.l.Put(k, v) }
 func (e *skiplistEngine) Delete(k uint64) bool        { return e.l.Delete(k) }
 func (e *skiplistEngine) Len() int                    { return e.l.Len() }
 
-// lsmEngine wraps the LSM store. The substrate has no delete and does
-// not report insert-vs-replace, so the adapter prefixes every stored
-// value with a one-byte tag (liveTag or tombTag) and keeps a live-key
-// set for O(1) existence checks on the write path (sparing a full
-// memtable+runs lookup per Put/Delete); tombstones stay in the LSM
-// (where only compaction could drop them) but are invisible through
-// the Engine interface.
-type lsmEngine struct {
-	s    *lsm.Store
-	live map[uint64]struct{}
+func (e *skiplistEngine) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	e.l.Range(lo, hi, fn)
 }
 
-const (
-	liveTag = 0x00
-	tombTag = 0x01
-)
+// lsmEngine wraps the LSM store. The substrate now has first-class
+// tombstone deletes, insert-vs-replace reporting, a live-key count,
+// and a merged Range iterator, so the adapter is a thin delegation:
+// values pass through by reference (no tag-byte copy) and there is no
+// shadow key set to keep in sync.
+type lsmEngine struct{ s *lsm.Store }
 
 // NewLSMEngine returns an LSM engine. FlushBytes 0 keeps the
 // substrate's default memtable size.
 func NewLSMEngine(seed uint64, flushBytes int) Engine {
 	s := lsm.New(seed)
 	s.FlushBytes = flushBytes
-	return &lsmEngine{s: s, live: make(map[uint64]struct{})}
+	return &lsmEngine{s: s}
 }
 
-func (e *lsmEngine) Get(k uint64) ([]byte, bool) {
-	v, ok := e.s.Get(k)
-	if !ok || len(v) == 0 || v[0] == tombTag {
-		return nil, false
-	}
-	return v[1:], true
-}
+func (e *lsmEngine) Get(k uint64) ([]byte, bool) { return e.s.Get(k) }
+func (e *lsmEngine) Put(k uint64, v []byte) bool { return e.s.Put(k, v) }
+func (e *lsmEngine) Delete(k uint64) bool        { return e.s.Delete(k) }
+func (e *lsmEngine) Len() int                    { return e.s.Len() }
 
-func (e *lsmEngine) Put(k uint64, v []byte) bool {
-	_, existed := e.live[k]
-	tagged := make([]byte, 1+len(v))
-	tagged[0] = liveTag
-	copy(tagged[1:], v)
-	e.s.Put(k, tagged)
-	e.live[k] = struct{}{}
-	return !existed
+func (e *lsmEngine) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	e.s.Range(lo, hi, fn)
 }
-
-func (e *lsmEngine) Delete(k uint64) bool {
-	if _, existed := e.live[k]; !existed {
-		return false
-	}
-	e.s.Put(k, []byte{tombTag})
-	delete(e.live, k)
-	return true
-}
-
-func (e *lsmEngine) Len() int { return len(e.live) }
 
 // EngineSpec names an engine constructor so benchmarks and tests can
 // sweep the full engine set.

@@ -4,7 +4,9 @@
 //
 // Layering (top to bottom):
 //
-//	Store            — key → shard routing, batched MultiGet/MultiPut
+//	Store            — key → shard routing, batched MultiGet/MultiPut,
+//	                   ordered Range/MultiRange scans merged across
+//	                   shards
 //	locks.WLock      — one lock per shard; ASLMutex by default, so
 //	                   big-core workers take the FIFO fast path and
 //	                   little-core workers stand by within their
@@ -26,6 +28,16 @@
 // per touched shard; under asymmetric contention this matters doubly,
 // because every acquisition a little-core worker avoids is one fewer
 // standby wait.
+//
+// Range scans follow the same discipline one level up: keys are
+// hash-distributed, so every shard holds an interleaved slice of any
+// key range. Store.Range visits one shard at a time (lock taken once
+// per shard, held only while that shard's slice is collected) and
+// merges the per-shard results into one ascending emission;
+// MultiRange batches several ranges through a single pass, each shard
+// lock taken once for the whole request set. Scans are the first op
+// class here whose critical-section length is data-dependent — the
+// long-holder case the ASL reorder window is designed to absorb.
 //
 // Store is safe for concurrent use by any number of workers; each
 // worker must own its *core.Worker (they are per-goroutine, like the
@@ -61,6 +73,12 @@ type Engine interface {
 	Delete(k uint64) bool
 	// Len returns the number of live keys.
 	Len() int
+	// Range calls fn for each key in [lo, hi] in ascending key order
+	// until fn returns false. Every engine returns the same ordered
+	// view, whatever its internal layout: ordered structures walk,
+	// the hash table collects and sorts, the LSM merges memtable and
+	// runs with newest-wins shadowing.
+	Range(lo, hi uint64, fn func(k uint64, v []byte) bool)
 }
 
 // KV is one key/value pair of a batched put.
@@ -91,12 +109,17 @@ type Config struct {
 // ShardStats is a snapshot of one shard's operation counters.
 type ShardStats struct {
 	Gets, Puts, Deletes uint64
+	// Scans counts engine range invocations on this shard: one per
+	// (Range, shard) and one per (MultiRange request, shard). Scans
+	// are the data-dependent-length op class, so they are tallied
+	// apart from the point counters (and excluded from Ops).
+	Scans uint64
 	// BatchLocks counts lock acquisitions made on behalf of batched
 	// operations: one per (batch, touched shard), not one per key.
 	BatchLocks uint64
 }
 
-// Ops returns the total point-operation count.
+// Ops returns the total point-operation count (scans excluded).
 func (s ShardStats) Ops() uint64 { return s.Gets + s.Puts + s.Deletes }
 
 // shard is one lock+engine pair. The trailing pad keeps adjacent
@@ -107,6 +130,7 @@ type shard struct {
 	gets    atomic.Uint64
 	puts    atomic.Uint64
 	deletes atomic.Uint64
+	scans   atomic.Uint64
 	batches atomic.Uint64
 	_       [64]byte
 }
@@ -198,6 +222,118 @@ func (s *Store) Len(w *core.Worker) int {
 	return n
 }
 
+// Range calls fn for every key in [lo, hi] in ascending key order.
+// Keys are hash-distributed, so each shard holds an interleaved slice
+// of the range; Range visits one shard at a time — each shard lock
+// taken exactly once, held only while that shard's slice is collected
+// — then merges the per-shard results in key order before emitting.
+// The view is per-shard consistent, not globally atomic: a writer may
+// land on an unvisited shard mid-scan, the usual contract for sharded
+// scans. fn returning false stops the emission (the collection cost is
+// already paid).
+func (s *Store) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	lists := make([][]KV, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock.Acquire(w)
+		sh.eng.Range(lo, hi, func(k uint64, v []byte) bool {
+			lists[i] = append(lists[i], KV{Key: k, Value: v})
+			return true
+		})
+		s.pad(w)
+		sh.lock.Release(w)
+		sh.scans.Add(1)
+	}
+	for _, kv := range mergeKV(lists) {
+		if !fn(kv.Key, kv.Value) {
+			return
+		}
+	}
+}
+
+// RangeReq is one [Lo, Hi] scan of a batched MultiRange.
+type RangeReq struct{ Lo, Hi uint64 }
+
+// batchRanger is an optional Engine extension for engines whose Range
+// pays a full-structure walk regardless of span (the hash table):
+// MultiRange hands them the whole request batch so one walk — not one
+// per request — runs under each shard lock. BatchRange must emit each
+// request's in-range pairs in ascending key order.
+type batchRanger interface {
+	BatchRange(reqs []RangeReq, emit func(req int, k uint64, v []byte))
+}
+
+// MultiRange executes all range requests in one pass over the shards,
+// grouped by shard like MultiGet: each shard's lock is taken exactly
+// once, and while it is held every request collects that shard's slice
+// of its range. out[i] is request i's result in ascending key order.
+// Requests see the same per-shard-consistent view as Range, and all
+// requests see each shard at the same instant (they share the lock
+// take).
+func (s *Store) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
+	out := make([][]KV, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	parts := make([][][]KV, len(reqs)) // parts[request][shard]
+	for i := range parts {
+		parts[i] = make([][]KV, len(s.shards))
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.lock.Acquire(w)
+		if br, ok := sh.eng.(batchRanger); ok {
+			// One engine walk serves the whole batch: one pad, one
+			// engine operation.
+			br.BatchRange(reqs, func(ri int, k uint64, v []byte) {
+				parts[ri][si] = append(parts[ri][si], KV{Key: k, Value: v})
+			})
+			s.pad(w)
+		} else {
+			for ri, r := range reqs {
+				sh.eng.Range(r.Lo, r.Hi, func(k uint64, v []byte) bool {
+					parts[ri][si] = append(parts[ri][si], KV{Key: k, Value: v})
+					return true
+				})
+				s.pad(w)
+			}
+		}
+		sh.lock.Release(w)
+		sh.scans.Add(uint64(len(reqs)))
+		sh.batches.Add(1)
+	}
+	for ri := range reqs {
+		out[ri] = mergeKV(parts[ri])
+	}
+	return out
+}
+
+// mergeKV merges per-shard sorted KV lists into one ascending list.
+// Shard counts are small, so a select-the-min pass beats heap
+// bookkeeping.
+func mergeKV(lists [][]KV) []KV {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]KV, 0, total)
+	idx := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if idx[i] < len(l) && (best < 0 || l[idx[i]].Key < lists[best][idx[best]].Key) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
 // byShard groups batch indices by shard: order[g][j] is an index into
 // the caller's batch slice. Groups are visited in ascending shard
 // order; within a group, batch order is preserved (so later puts of a
@@ -279,6 +415,7 @@ func (s *Store) Stats() []ShardStats {
 			Gets:       sh.gets.Load(),
 			Puts:       sh.puts.Load(),
 			Deletes:    sh.deletes.Load(),
+			Scans:      sh.scans.Load(),
 			BatchLocks: sh.batches.Load(),
 		}
 	}
@@ -292,6 +429,7 @@ func (s *Store) AggregateStats() ShardStats {
 		agg.Gets += st.Gets
 		agg.Puts += st.Puts
 		agg.Deletes += st.Deletes
+		agg.Scans += st.Scans
 		agg.BatchLocks += st.BatchLocks
 	}
 	return agg

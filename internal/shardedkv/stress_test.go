@@ -48,7 +48,7 @@ func runStress(t *testing.T, st *Store, workers, opsPer int) {
 			rng := prng.NewSplitMix64(uint64(wi)*0x9e3779b9 + 7)
 			for op := 0; op < opsPer; op++ {
 				k := rng.Uint64() % keyspace
-				switch rng.Uint64() % 5 {
+				switch rng.Uint64() % 6 {
 				case 0, 1:
 					if st.Put(w, k, stressValue(k)) {
 						inserts.Add(1)
@@ -61,6 +61,23 @@ func runStress(t *testing.T, st *Store, workers, opsPer int) {
 					if st.Delete(w, k) {
 						deletes.Add(1)
 					}
+				case 4:
+					// Range scan under churn: keys must arrive in strict
+					// ascending order and every value must match its key.
+					lo := k
+					hi := lo + rng.Uint64()%64
+					prev, first := uint64(0), true
+					st.Range(w, lo, hi, func(sk uint64, sv []byte) bool {
+						if sk < lo || sk > hi {
+							t.Errorf("Range[%d,%d] emitted out-of-range key %d", lo, hi, sk)
+						}
+						if !first && sk <= prev {
+							t.Errorf("Range[%d,%d] emitted %d after %d", lo, hi, sk, prev)
+						}
+						prev, first = sk, false
+						checkStressValue(t, sk, sv)
+						return true
+					})
 				default:
 					n := int(rng.Uint64()%6) + 2
 					if rng.Uint64()&1 == 0 {
@@ -116,6 +133,77 @@ func TestConcurrentStress(t *testing.T) {
 		t.Run(spec.Name, func(t *testing.T) {
 			st := New(Config{Shards: 8, NewEngine: spec.New})
 			runStress(t, st, workers, opsPer)
+		})
+	}
+}
+
+// TestConcurrentScanStress dedicates half the pool to long scans
+// (Range and MultiRange over wide windows) while the other half churns
+// point writes — the data-dependent-length critical sections the
+// reorder window targets. Run with -race; every observed pair must be
+// internally consistent even though the scan is only per-shard atomic.
+func TestConcurrentScanStress(t *testing.T) {
+	const keyspace = 2048
+	opsPer := 2_000
+	if testing.Short() {
+		opsPer = 400
+	}
+	for _, spec := range AllEngines() {
+		t.Run(spec.Name, func(t *testing.T) {
+			st := New(Config{Shards: 8, NewEngine: spec.New})
+			w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+			for k := uint64(0); k < keyspace; k += 2 {
+				st.Put(w, k, stressValue(k))
+			}
+			var wg sync.WaitGroup
+			for wi := 0; wi < 8; wi++ {
+				wg.Add(1)
+				go func(wi int) {
+					defer wg.Done()
+					class := core.Big
+					if wi%2 == 1 {
+						class = core.Little
+					}
+					w := core.NewWorker(core.WorkerConfig{Class: class})
+					rng := prng.NewSplitMix64(uint64(wi)*0xdeadbeef + 11)
+					scanner := wi%2 == 0
+					for op := 0; op < opsPer; op++ {
+						k := rng.Uint64() % keyspace
+						if !scanner {
+							if rng.Uint64()&1 == 0 {
+								st.Put(w, k, stressValue(k))
+							} else {
+								st.Delete(w, k)
+							}
+							continue
+						}
+						if rng.Uint64()&1 == 0 {
+							prev, first := uint64(0), true
+							st.Range(w, k, k+256, func(sk uint64, sv []byte) bool {
+								if !first && sk <= prev {
+									t.Errorf("Range emitted %d after %d", sk, prev)
+								}
+								prev, first = sk, false
+								checkStressValue(t, sk, sv)
+								return true
+							})
+						} else {
+							for _, res := range st.MultiRange(w, []RangeReq{
+								{Lo: k, Hi: k + 64},
+								{Lo: k + 512, Hi: k + 640},
+							}) {
+								for i, kv := range res {
+									if i > 0 && kv.Key <= res[i-1].Key {
+										t.Errorf("MultiRange emitted %d after %d", kv.Key, res[i-1].Key)
+									}
+									checkStressValue(t, kv.Key, kv.Value)
+								}
+							}
+						}
+					}
+				}(wi)
+			}
+			wg.Wait()
 		})
 	}
 }

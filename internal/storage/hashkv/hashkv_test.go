@@ -69,6 +69,98 @@ func TestChainCollisions(t *testing.T) {
 	}
 }
 
+func TestBucketGrowthBoundsChains(t *testing.T) {
+	// One slot, tiny initial bucket array: without growth, chains reach
+	// n/4; with load-factor doubling they stay O(maxLoad).
+	h := NewGrowing(1, 4)
+	const n = 10_000
+	for k := uint64(0); k < n; k++ {
+		h.Put(k, []byte{byte(k)})
+	}
+	if h.Len() != n {
+		t.Fatalf("len = %d, want %d", h.Len(), n)
+	}
+	if got := h.NumBuckets(0); got < n/(2*maxLoad) {
+		t.Fatalf("buckets stayed at %d for %d keys; growth never triggered", got, n)
+	}
+	longest := 0
+	for _, e := range h.slots[0].buckets {
+		l := 0
+		for ; e != nil; e = e.next {
+			l++
+		}
+		if l > longest {
+			longest = l
+		}
+	}
+	// Average load is <= maxLoad by construction; any chain far past it
+	// means the rehash scattered badly.
+	if longest > 8*maxLoad {
+		t.Fatalf("longest chain %d after growth; want O(%d)", longest, maxLoad)
+	}
+	// Everything must survive the rehashes, and deletes still work.
+	for k := uint64(0); k < n; k++ {
+		if v, ok := h.Get(k); !ok || v[0] != byte(k) {
+			t.Fatalf("Get(%d) lost after growth", k)
+		}
+	}
+	for k := uint64(0); k < n; k += 2 {
+		if !h.Delete(k) {
+			t.Fatalf("Delete(%d) missed after growth", k)
+		}
+	}
+	if h.Len() != n/2 {
+		t.Fatalf("len = %d after deletes, want %d", h.Len(), n/2)
+	}
+	// Plain New stays fixed-bucket, preserving the Kyoto-like figure
+	// engine's cost profile.
+	fixed := New(1, 4)
+	for k := uint64(0); k < 100; k++ {
+		fixed.Put(k, nil)
+	}
+	if got := fixed.NumBuckets(0); got != 4 {
+		t.Fatalf("fixed table grew to %d buckets; New must never grow", got)
+	}
+}
+
+func TestRangeOrdered(t *testing.T) {
+	h := New(4, 8)
+	for k := uint64(0); k < 1000; k += 3 {
+		h.Put(k, []byte{byte(k)})
+	}
+	var got []uint64
+	last := uint64(0)
+	h.Range(100, 499, func(k uint64, v []byte) bool {
+		if len(got) > 0 && k <= last {
+			t.Fatalf("Range emitted %d after %d: out of order", k, last)
+		}
+		if v[0] != byte(k) {
+			t.Fatalf("Range key %d carries wrong value", k)
+		}
+		last = k
+		got = append(got, k)
+		return true
+	})
+	want := 0
+	for k := uint64(100); k < 500; k++ {
+		if k%3 == 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Range yielded %d keys, want %d", len(got), want)
+	}
+	// Early stop.
+	n := 0
+	h.Range(0, ^uint64(0), func(uint64, []byte) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early-stopped Range visited %d keys, want 1", n)
+	}
+}
+
 func TestVsReferenceMap(t *testing.T) {
 	f := func(seed uint64, n uint16) bool {
 		rng := prng.NewXoshiro256(seed)

@@ -116,6 +116,195 @@ func TestCompactionBoundsRuns(t *testing.T) {
 	}
 }
 
+func TestDeleteBasic(t *testing.T) {
+	s := New(8)
+	if s.Delete(1) {
+		t.Fatal("delete of absent key reported true")
+	}
+	if !s.Put(1, []byte("a")) {
+		t.Fatal("first put must report insert")
+	}
+	if s.Put(1, []byte("b")) {
+		t.Fatal("second put must report replace")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Delete(1) {
+		t.Fatal("delete of live key reported false")
+	}
+	if s.Delete(1) {
+		t.Fatal("double delete reported true")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("deleted key still readable")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if !s.Put(1, []byte("c")) {
+		t.Fatal("put over a tombstone must report insert")
+	}
+	if v, ok := s.Get(1); !ok || string(v) != "c" {
+		t.Fatalf("Get after re-put = %q,%v", v, ok)
+	}
+}
+
+func TestDeleteShadowsAcrossFreeze(t *testing.T) {
+	s := New(9)
+	s.FlushBytes = 256
+	for i := uint64(0); i < 200; i++ {
+		s.Put(i, []byte("live"))
+	}
+	// Deletes land in a newer memtable/run than the values they kill.
+	for i := uint64(0); i < 200; i += 2 {
+		if !s.Delete(i) {
+			t.Fatalf("Delete(%d) reported absent", i)
+		}
+	}
+	for i := uint64(0); i < 200; i++ {
+		_, ok := s.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) ok=%v, want %v", i, ok, want)
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestCompactDropsTombstones(t *testing.T) {
+	s := New(10)
+	s.FlushBytes = 512
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		s.Put(i, []byte("payload-xxxxxxxx"))
+	}
+	// Delete a majority, then compact: the footprint must shrink to
+	// roughly the survivors — tombstones must not linger as entries.
+	for i := uint64(0); i < n; i++ {
+		if i%4 != 0 {
+			s.Delete(i)
+		}
+	}
+	beforeEntries, beforeBytes := s.RunEntries(), s.RunBytes()
+	s.Compact()
+	afterEntries, afterBytes := s.RunEntries(), s.RunBytes()
+	if afterEntries >= beforeEntries || afterBytes >= beforeBytes {
+		t.Fatalf("footprint did not shrink: entries %d -> %d, bytes %d -> %d",
+			beforeEntries, afterEntries, beforeBytes, afterBytes)
+	}
+	if want := n / 4; afterEntries != want {
+		t.Fatalf("post-compaction entries = %d, want exactly the %d survivors", afterEntries, want)
+	}
+	if s.Runs() != 1 {
+		t.Fatalf("Runs = %d after full compaction, want 1", s.Runs())
+	}
+	for i := uint64(0); i < n; i++ {
+		_, ok := s.Get(i)
+		if want := i%4 == 0; ok != want {
+			t.Fatalf("Get(%d) ok=%v after compaction, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestBottomMergeDropsTombstones(t *testing.T) {
+	// Drive enough churn through a tiny memtable that the freeze-path
+	// merge (not an explicit Compact) repeatedly rebuilds the bottom
+	// run; deleted keys must not survive in it forever.
+	s := New(11)
+	s.FlushBytes = 128
+	const keys = 400
+	for i := uint64(0); i < keys; i++ {
+		s.Put(i, []byte{1, 2, 3, 4})
+	}
+	for i := uint64(0); i < keys; i++ {
+		if i%8 != 0 {
+			s.Delete(i)
+		}
+	}
+	// Churn a small disjoint keyspace so compaction keeps folding the
+	// old tombstones into the bottom.
+	for r := 0; r < 40; r++ {
+		for i := uint64(keys); i < keys+40; i++ {
+			s.Put(i, []byte{5, 6, 7, 8})
+		}
+	}
+	if got, want := s.Len(), keys/8+40; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	// Every entry beyond the live count is transient shadowing in the
+	// upper runs; the bulk of the 350 dropped keys must be gone.
+	if s.RunEntries() > 3*s.Len() {
+		t.Fatalf("run entries %d dwarf live count %d; tombstones piling up", s.RunEntries(), s.Len())
+	}
+	for i := uint64(0); i < keys; i++ {
+		_, ok := s.Get(i)
+		if want := i%8 == 0; ok != want {
+			t.Fatalf("Get(%d) ok=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestRangeMergedIterator(t *testing.T) {
+	s := New(12)
+	s.FlushBytes = 256 // several runs plus a live memtable
+	ref := map[uint64][]byte{}
+	rng := prng.NewXoshiro256(99)
+	for i := 0; i < 5000; i++ {
+		k := prng.Uint64n(rng, 600)
+		switch prng.Uint64n(rng, 4) {
+		case 0:
+			if s.Delete(k) != (ref[k] != nil) {
+				t.Fatalf("op %d: Delete(%d) disagrees with reference", i, k)
+			}
+			delete(ref, k)
+		default:
+			v := []byte{byte(i), byte(i >> 8)}
+			s.Put(k, v)
+			ref[k] = v
+		}
+	}
+	check := func(lo, hi uint64) {
+		t.Helper()
+		var got []uint64
+		last := uint64(0)
+		s.Range(lo, hi, func(k uint64, v []byte) bool {
+			if len(got) > 0 && k <= last {
+				t.Fatalf("Range[%d,%d] emitted %d after %d: out of order", lo, hi, k, last)
+			}
+			last = k
+			got = append(got, k)
+			if want := ref[k]; string(v) != string(want) {
+				t.Fatalf("Range[%d,%d] key %d = %v, want %v", lo, hi, k, v, want)
+			}
+			return true
+		})
+		want := 0
+		for k := range ref {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("Range[%d,%d] yielded %d keys, want %d", lo, hi, len(got), want)
+		}
+	}
+	check(0, ^uint64(0))
+	check(100, 299)
+	check(599, 599)
+	check(700, 800) // empty
+	// Early stop.
+	n := 0
+	s.Range(0, ^uint64(0), func(uint64, []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early-stopped Range visited %d keys, want 10", n)
+	}
+}
+
 func TestVsReferenceMap(t *testing.T) {
 	s := New(7)
 	s.FlushBytes = 1 << 11

@@ -69,12 +69,22 @@ func (l *List) findGreaterOrEqual(k uint64, prev *[maxHeight]*node) *node {
 
 // Put inserts or replaces k. Returns true when newly inserted.
 func (l *List) Put(k uint64, v []byte) bool {
+	_, existed := l.PutPrev(k, v)
+	return !existed
+}
+
+// PutPrev inserts or replaces k, returning the value it displaced
+// (nil, false when k was absent): the prior state in the same descent
+// the write needs anyway, for callers doing their own liveness
+// accounting (the LSM's memtable).
+func (l *List) PutPrev(k uint64, v []byte) ([]byte, bool) {
 	var prev [maxHeight]*node
 	n := l.findGreaterOrEqual(k, &prev)
 	if n != nil && n.key == k {
-		l.bytes += len(v) - len(n.value)
+		old := n.value
+		l.bytes += len(v) - len(old)
 		n.value = v
-		return false
+		return old, true
 	}
 	h := l.randomHeight()
 	if h > l.height {
@@ -90,7 +100,7 @@ func (l *List) Put(k uint64, v []byte) bool {
 	}
 	l.size++
 	l.bytes += len(v) + 8
-	return true
+	return nil, false
 }
 
 // Get returns the value for k.
@@ -118,6 +128,28 @@ func (l *List) Delete(k uint64) bool {
 	l.bytes -= len(n.value) + 8
 	return true
 }
+
+// Iterator walks the list in ascending key order from a Seek position,
+// LevelDB-memtable style. Mutating the list invalidates iterators; the
+// LSM layer only advances one under the same lock that guards writes.
+type Iterator struct{ n *node }
+
+// Seek returns an iterator positioned at the first key >= k.
+func (l *List) Seek(k uint64) Iterator {
+	return Iterator{n: l.findGreaterOrEqual(k, nil)}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current key; the iterator must be Valid.
+func (it Iterator) Key() uint64 { return it.n.key }
+
+// Value returns the current value; the iterator must be Valid.
+func (it Iterator) Value() []byte { return it.n.value }
+
+// Next advances to the following key.
+func (it *Iterator) Next() { it.n = it.n.next[0] }
 
 // Range visits keys in [lo, hi] in order until fn returns false.
 func (l *List) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {

@@ -126,3 +126,32 @@ func TestVsReferenceMap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIterator(t *testing.T) {
+	l := New(77)
+	for k := uint64(0); k < 100; k += 2 {
+		l.Put(k, []byte{byte(k)})
+	}
+	it := l.Seek(11)
+	var got []uint64
+	for ; it.Valid(); it.Next() {
+		if it.Value()[0] != byte(it.Key()) {
+			t.Fatalf("iterator key %d carries wrong value", it.Key())
+		}
+		got = append(got, it.Key())
+	}
+	if len(got) != 44 || got[0] != 12 || got[len(got)-1] != 98 {
+		t.Fatalf("Seek(11) walked %d keys from %v: want 44 keys 12..98", len(got), got[:min(3, len(got))])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("iterator out of order at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if it := l.Seek(200); it.Valid() {
+		t.Fatal("Seek past the last key must be invalid")
+	}
+	if it := New(1).Seek(0); it.Valid() {
+		t.Fatal("iterator over an empty list must be invalid")
+	}
+}

@@ -118,3 +118,15 @@ func ReadHeavy() *Mix {
 func WriteHeavy() *Mix {
 	return &Mix{kinds: []OpKind{OpPut, OpPut, OpPut, OpPut, OpGet}}
 }
+
+// ScanHeavy returns the scan-dominated mix: 95% range scan / 5% put
+// (YCSB-E's proportions — short ranges with occasional inserts). Scans
+// are the long, data-dependent critical sections that stress a shard
+// lock's reorder window.
+func ScanHeavy() *Mix {
+	kinds := make([]OpKind, 0, 20)
+	for i := 0; i < 19; i++ {
+		kinds = append(kinds, OpScan)
+	}
+	return &Mix{kinds: append(kinds, OpPut)}
+}

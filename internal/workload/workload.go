@@ -147,6 +147,10 @@ const (
 	OpRangeSelect
 	// OpFullScan is a full-table scan.
 	OpFullScan
+	// OpScan is a KV range scan: an ordered walk of [lo, hi] whose
+	// critical-section length depends on how many keys the range
+	// holds.
+	OpScan
 )
 
 // String names the operation.
@@ -164,6 +168,8 @@ func (k OpKind) String() string {
 		return "range-select"
 	case OpFullScan:
 		return "full-scan"
+	case OpScan:
+		return "scan"
 	default:
 		return "unknown"
 	}
