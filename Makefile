@@ -1,10 +1,28 @@
 # Development targets. `make check` is the tier-1 gate; `make race`
-# runs the race detector over the concurrency-bearing packages.
+# runs the race detector over every concurrency-bearing package; and
+# `make ci` is the exact entrypoint .github/workflows/ci.yml calls.
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt-check test short race bench
+# Every package whose tests exercise goroutines or whose code runs
+# under shared locks: the root benchmarks, the lock algorithms and
+# their core feedback state, the sharded KV layer (including the
+# flat-combining pipeline), the storage engines the shard locks guard,
+# and the workload/stats/harness/db plumbing the benches drive.
+RACE_PKGS = . \
+	./internal/core \
+	./internal/locks \
+	./internal/shardedkv \
+	./internal/storage/... \
+	./internal/workload \
+	./internal/stats \
+	./internal/harness \
+	./internal/dbs \
+	./internal/dbbench \
+	./internal/simlock
+
+.PHONY: check build vet fmt-check test short race ci bench bench-json
 
 check: vet fmt-check build test
 
@@ -28,7 +46,21 @@ short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/locks ./internal/core ./internal/shardedkv
+	$(GO) test -race $(RACE_PKGS)
+
+# ci is what the workflow runs: the tier-1 gate, the race gate, and
+# the short smoke paths.
+ci: check race short
 
 bench:
 	$(GO) run ./cmd/kvbench -dur 500ms
+
+# bench-json appends one trajectory record per row to
+# BENCH_kvbench.json (CI uploads it as an artifact). The configuration
+# is deliberately contended — few shards, a microsecond critical
+# section, the write-heavy zipfian mix — so the pipe-* rows show real
+# combining (ops_per_lock_take > 1).
+bench-json:
+	$(GO) run ./cmd/kvbench -engines hashkv,lsm -mixes zipfw,zipf \
+		-locks asl,mutex -pipeline -shards 4 -cs 1us \
+		-dur 300ms -warmup 100ms -json BENCH_kvbench.json

@@ -9,19 +9,29 @@
 //	kvbench                                  # engine × mix grid, asl vs mutex
 //	kvbench -engines hashkv,btree -mixes zipf -locks all
 //	kvbench -threads 8 -bigs 4 -slo 200us -dur 1s -shardstats
+//	kvbench -pipeline -mixes zipfw           # ASL vs combining vs plain, one grid
+//	kvbench -json BENCH_kvbench.json         # append a trajectory record per row
 //
 // Mixes: read (95% get), write (80% put), zipf (YCSB-A 50/50 over
-// zipfian keys), batch (MultiGet/MultiPut, keys sorted by shard),
-// scan (YCSB-E 95% range scan / 5% put over -span-wide windows), and
-// scanbatch (MultiRange, -batch ranges per request grouped by shard).
+// zipfian keys), zipfw (write-heavy 80% put over zipfian keys — the
+// hot-shard regime combining targets), batch (MultiGet/MultiPut, keys
+// sorted by shard), scan (YCSB-E 95% range scan / 5% put over
+// -span-wide windows), and scanbatch (MultiRange, -batch ranges per
+// request grouped by shard).
 // Locks: asl, asl-blocking (for hosts with more workers than cores),
-// mutex, mcs, pthread.
+// mutex, mcs, pthread. With -pipeline every selected lock also runs a
+// pipe-<lock> row that routes operations through the flat-combining
+// AsyncStore front end over the same shard locks, so handoff-policy
+// (ASL) and combining answers to the same contention are one grid run;
+// pipe rows report ops-per-lock-take on stderr and in the -json record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,19 +46,20 @@ import (
 )
 
 type benchConfig struct {
-	shards   int
-	threads  int
-	bigs     int
-	dur      time.Duration
-	warmup   time.Duration
-	slo      int64
-	keys     uint64
-	vsize    int
-	batch    int
-	span     uint64
-	zipfS    float64
-	ncsUnits int64
-	csUnits  int64
+	shards    int
+	threads   int
+	bigs      int
+	dur       time.Duration
+	warmup    time.Duration
+	slo       int64
+	keys      uint64
+	vsize     int
+	batch     int
+	span      uint64
+	zipfS     float64
+	ncsUnits  int64
+	csUnits   int64
+	pipeBatch int
 }
 
 type mixSpec struct {
@@ -65,6 +76,7 @@ func allMixes() []mixSpec {
 		{name: "read", mix: workload.ReadHeavy()},
 		{name: "write", mix: workload.WriteHeavy()},
 		{name: "zipf", mix: workload.YCSBA(), zipf: true},
+		{name: "zipfw", mix: workload.WriteHeavy(), zipf: true},
 		{name: "batch", mix: workload.ReadHeavy(), batched: true},
 		{name: "scan", mix: workload.ScanHeavy()},
 		{name: "scanbatch", mix: workload.ScanHeavy(), batched: true},
@@ -76,6 +88,21 @@ type lockSpec struct {
 	f    locks.Factory
 	// slo enables epoch/SLO annotation (only meaningful for asl).
 	slo bool
+	// pipe routes operations through the flat-combining AsyncStore
+	// front end over the same shard locks.
+	pipe bool
+}
+
+// withPipeline expands each lock into itself plus its pipe-* sibling,
+// so plain handoff and combining run back to back under identical
+// sharding, engines, and mixes.
+func withPipeline(lks []lockSpec) []lockSpec {
+	out := make([]lockSpec, 0, 2*len(lks))
+	for _, lk := range lks {
+		out = append(out, lk)
+		out = append(out, lockSpec{name: "pipe-" + lk.name, f: lk.f, slo: lk.slo, pipe: true})
+	}
+	return out
 }
 
 func allLocks() []lockSpec {
@@ -112,9 +139,22 @@ func preload(st *shardedkv.Store, cfg benchConfig) {
 	}
 }
 
-// run executes one configuration and returns its summary row plus the
-// store's per-shard counters.
-func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats) {
+// kvAPI is the operation surface the workers drive; Store (plain
+// per-op locking) and AsyncStore (flat-combining pipeline) both
+// implement it, so one worker loop serves both rows.
+type kvAPI interface {
+	Get(w *core.Worker, k uint64) ([]byte, bool)
+	Put(w *core.Worker, k uint64, v []byte) bool
+	MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool)
+	MultiPut(w *core.Worker, kvs []shardedkv.KV) int
+	Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool)
+	MultiRange(w *core.Worker, reqs []shardedkv.RangeReq) [][]shardedkv.KV
+}
+
+// run executes one configuration and returns its summary row, the
+// store's per-shard counters, and (for pipe rows) the aggregate
+// combining stats.
+func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats, *shardedkv.CombineStats) {
 	// The critical-section pad emulates the paper's AMP regime on a
 	// symmetric host: a little-class holder keeps the shard lock
 	// CSFactor times longer, exactly the condition under which FIFO
@@ -129,6 +169,12 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 		},
 	})
 	preload(st, cfg)
+	var api kvAPI = st
+	var async *shardedkv.AsyncStore
+	if lk.pipe {
+		async = shardedkv.NewAsync(st, shardedkv.AsyncConfig{MaxBatch: cfg.pipeBatch})
+		api = async
+	}
 	var keygen workload.KeyGen = workload.NewUniform(cfg.keys)
 	if mix.zipf {
 		keygen = workload.NewZipf(cfg.keys, cfg.zipfS)
@@ -173,7 +219,7 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 							reqs[j] = shardedkv.RangeReq{Lo: lo, Hi: spanHi(lo, cfg.span)}
 						}
 						visited := uint64(0)
-						for _, res := range st.MultiRange(w, reqs) {
+						for _, res := range api.MultiRange(w, reqs) {
 							visited += uint64(len(res))
 						}
 						return max(visited, 1)
@@ -181,12 +227,12 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 						for j := range keys {
 							keys[j] = keygen.Draw(rng)
 						}
-						st.MultiGet(w, keys)
+						api.MultiGet(w, keys)
 					default:
 						for j := range kvs {
 							kvs[j] = shardedkv.KV{Key: keygen.Draw(rng), Value: val}
 						}
-						st.MultiPut(w, kvs)
+						api.MultiPut(w, kvs)
 					}
 					return uint64(cfg.batch)
 				}
@@ -194,15 +240,15 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 				switch kind {
 				case workload.OpScan:
 					visited := uint64(0)
-					st.Range(w, k, spanHi(k, cfg.span), func(uint64, []byte) bool {
+					api.Range(w, k, spanHi(k, cfg.span), func(uint64, []byte) bool {
 						visited++
 						return true
 					})
 					return max(visited, 1)
 				case workload.OpGet:
-					st.Get(w, k)
+					api.Get(w, k)
 				default:
-					st.Put(w, k, val)
+					api.Put(w, k, val)
 				}
 				return 1
 			}
@@ -234,7 +280,72 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 	for _, r := range recs {
 		merged.Merge(r)
 	}
-	return merged.Summarize(name, cfg.dur), st.Stats()
+	var comb *shardedkv.CombineStats
+	if async != nil {
+		c := async.AggregateCombineStats()
+		comb = &c
+	}
+	return merged.Summarize(name, cfg.dur), st.Stats(), comb
+}
+
+// benchRecord is one row of the bench trajectory: CI appends these to
+// BENCH_kvbench.json per commit, so the file accumulates a
+// throughput/latency history the next PR can diff against.
+type benchRecord struct {
+	Commit    string  `json:"commit"`
+	Time      string  `json:"time"`
+	Engine    string  `json:"engine"`
+	Mix       string  `json:"mix"`
+	Lock      string  `json:"lock"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P99Ns     int64   `json:"p99"`
+	// OpsPerLockTake is the combining ratio; present only on pipe-*
+	// rows, where > 1 means the combiner is actually batching.
+	OpsPerLockTake float64 `json:"ops_per_lock_take,omitempty"`
+}
+
+// currentCommit resolves the commit id stamped into trajectory
+// records: GITHUB_SHA in CI, git itself locally, "unknown" otherwise.
+func currentCommit() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return "unknown"
+}
+
+// appendRecords loads the JSON array at path (missing or empty file =
+// empty trajectory), appends recs, and writes it back.
+func appendRecords(path string, recs []benchRecord) error {
+	var all []benchRecord
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &all); err != nil {
+			return fmt.Errorf("existing trajectory %s is not a record array: %w", path, err)
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	all = append(all, recs...)
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// splitRow recovers (engine, mix, lock) from the "engine/mix/lock" row
+// name built in main's grid loop.
+func splitRow(name string) (engine, mix, lock string) {
+	parts := strings.SplitN(name, "/", 3)
+	for len(parts) < 3 {
+		parts = append(parts, "")
+	}
+	return parts[0], parts[1], parts[2]
 }
 
 // pick filters specs by a comma-separated name list ("all" keeps all).
@@ -261,8 +372,11 @@ func pick[T any](sel string, specs []T, name func(T) string) ([]T, error) {
 
 func main() {
 	engines := flag.String("engines", "all", "comma list of hashkv|btree|skiplist|lsm, or all")
-	mixes := flag.String("mixes", "all", "comma list of read|write|zipf|batch|scan|scanbatch, or all")
+	mixes := flag.String("mixes", "all", "comma list of read|write|zipf|zipfw|batch|scan|scanbatch, or all")
 	lockSel := flag.String("locks", "asl,mutex", "comma list of asl|asl-blocking|mutex|mcs|pthread, or all")
+	pipeline := flag.Bool("pipeline", false, "also run a pipe-<lock> row per lock: ops routed through the flat-combining AsyncStore")
+	pipeBatch := flag.Int("pipebatch", 32, "max ops a pipeline combiner executes per lock take")
+	jsonPath := flag.String("json", "", "append one {commit, engine, mix, lock, ops_per_sec, p99} record per row to this JSON file")
 	shards := flag.Int("shards", 16, "shard count")
 	threads := flag.Int("threads", 8, "total workers (first -bigs are big-class)")
 	bigs := flag.Int("bigs", 4, "big-class workers")
@@ -306,27 +420,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvbench: -locks: %v\n", err)
 		os.Exit(2)
 	}
+	if *pipeline {
+		lks = withPipeline(lks)
+	}
+	if *pipeBatch < 1 {
+		fmt.Fprintf(os.Stderr, "kvbench: -pipebatch must be >= 1 (got %d)\n", *pipeBatch)
+		os.Exit(2)
+	}
 
 	cal := workload.Calibrate()
 	fmt.Fprintf(os.Stderr, "calibration: %.2f ns/spin-unit\n", cal.NsPerUnit)
 	cfg := benchConfig{
-		shards:   *shards,
-		threads:  *threads,
-		bigs:     *bigs,
-		dur:      *dur,
-		warmup:   *warmup,
-		slo:      int64(*slo),
-		keys:     *keys,
-		vsize:    *vsize,
-		batch:    *batch,
-		span:     *span,
-		zipfS:    *zipfS,
-		ncsUnits: cal.Units(*ncsGap),
+		shards:    *shards,
+		threads:   *threads,
+		bigs:      *bigs,
+		dur:       *dur,
+		warmup:    *warmup,
+		slo:       int64(*slo),
+		keys:      *keys,
+		vsize:     *vsize,
+		batch:     *batch,
+		span:      *span,
+		zipfS:     *zipfS,
+		ncsUnits:  cal.Units(*ncsGap),
+		pipeBatch: *pipeBatch,
 	}
 	if *csPad > 0 {
 		cfg.csUnits = cal.Units(*csPad)
 	}
 
+	commit := ""
+	if *jsonPath != "" {
+		commit = currentCommit()
+	}
+	var records []benchRecord
 	var lastShards []shardedkv.ShardStats
 	for _, eng := range engs {
 		var rows []stats.Summary
@@ -339,13 +466,42 @@ func main() {
 					mixName = fmt.Sprintf("%s%d", mix.name, cfg.batch)
 				}
 				name := fmt.Sprintf("%s/%s/%s", eng.Name, mixName, lk.name)
-				row, shardStats := run(name, eng, mix, lk, cfg)
+				row, shardStats, comb := run(name, eng, mix, lk, cfg)
 				rows = append(rows, row)
 				lastShards = shardStats
 				fmt.Fprintf(os.Stderr, "done: %s\n", name)
+				if comb != nil {
+					fmt.Fprintf(os.Stderr,
+						"  combining: %d ops / %d takes = %.2f ops/take (direct %d, handoffs %d, depthHW %d, big/little takes %d/%d)\n",
+						comb.Combined, comb.LockTakes, comb.OpsPerLockTake(),
+						comb.Direct, comb.Handoffs, comb.DepthHW, comb.BigTakes, comb.LittleTakes)
+				}
+				if *jsonPath != "" {
+					engine, mixCol, lockCol := splitRow(name)
+					rec := benchRecord{
+						Commit:    commit,
+						Time:      time.Now().UTC().Format(time.RFC3339),
+						Engine:    engine,
+						Mix:       mixCol,
+						Lock:      lockCol,
+						OpsPerSec: row.Throughput,
+						P99Ns:     row.OverallP99,
+					}
+					if comb != nil {
+						rec.OpsPerLockTake = comb.OpsPerLockTake()
+					}
+					records = append(records, rec)
+				}
 			}
 		}
 		fmt.Print(stats.FormatSummaries(rows))
+	}
+	if *jsonPath != "" {
+		if err := appendRecords(*jsonPath, records); err != nil {
+			fmt.Fprintf(os.Stderr, "kvbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "appended %d records to %s (commit %s)\n", len(records), *jsonPath, commit)
 	}
 	if *shardstats && lastShards != nil {
 		fmt.Println("per-shard counters (last configuration):")

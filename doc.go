@@ -23,6 +23,27 @@
 // workload mixes (zipfian skew and the YCSB-E-style scan mix from
 // internal/workload) and lock choices, and examples/shardedkv walks
 // through ASL-vs-sync.Mutex shard locks.
+//
+// Above the synchronous store sits an asynchronous combining front
+// end, shardedkv.AsyncStore: each shard gets a lock-free MPSC request
+// ring, callers enqueue Get/Put/Delete/Range requests and wait on
+// futures (spinning or parking by core class), and whoever wins the
+// shard lock's TryAcquire — big-class workers preferentially — becomes
+// the combiner, draining up to MaxBatch queued ops under a single
+// lock take. Weak cores enqueue, strong cores combine: the
+// flat-combining extension of the paper's handoff-policy argument,
+// with per-shard stats (ops-per-lock-take, combiner handoffs, queue
+// depth highwater) to show it batching. kvbench -pipeline adds
+// pipe-<lock> rows so handoff policy and combining answer the same
+// contention grid.
+//
+// CI (.github/workflows/ci.yml) gates every push/PR on `make ci`
+// (vet + gofmt + build + test, the race detector over all
+// concurrency-bearing packages, and the -short smoke paths), then a
+// non-gating job runs `make bench-json` and uploads BENCH_kvbench.json
+// — an append-only array of {commit, engine, mix, lock, ops_per_sec,
+// p99} records — as the bench-trajectory artifact, so performance
+// history accumulates per commit.
 package repro
 
 // Version identifies this reproduction build.

@@ -98,8 +98,14 @@ func (c *Cohort) Unlock() { c.UnlockCohort(0) }
 
 // TryLock acquires iff both levels are immediately available
 // (cohort 0).
-func (c *Cohort) TryLock() bool {
-	l := &c.locals[0]
+func (c *Cohort) TryLock() bool { return c.TryLockCohort(0) }
+
+// TryLockCohort acquires as a member of cohort i iff both the local
+// and (unless the cohort already owns it) the global lock are
+// immediately available. A successful try is released with
+// UnlockCohort(i).
+func (c *Cohort) TryLockCohort(i int) bool {
+	l := &c.locals[i%len(c.locals)]
 	if !l.lock.TryLock() {
 		return false
 	}
@@ -128,3 +134,7 @@ func WrapCohort(c *Cohort) WLock { return cohortW{c} }
 
 func (a cohortW) Acquire(w *core.Worker) { a.c.LockCohort(int(w.Class())) }
 func (a cohortW) Release(w *core.Worker) { a.c.UnlockCohort(int(w.Class())) }
+
+// TryAcquire tries as a member of the worker's class cohort, so a
+// successful try is released through the same cohort's unlock path.
+func (a cohortW) TryAcquire(w *core.Worker) bool { return a.c.TryLockCohort(int(w.Class())) }

@@ -1,0 +1,686 @@
+package shardedkv
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file implements the asynchronous combining front end over
+// Store: a flat-combining request pipeline in the spirit of Hendler,
+// Incze, Shavit and Tzafrir (the paper's reference [47]), specialised
+// for the asymmetric-core setting of the source paper.
+//
+// Every shard gets a lock-free MPSC request ring. Callers build a
+// request (Get/Put/Delete/Range plus a future), enqueue it, and wait
+// for completion — spinning or parking according to their core class.
+// Whoever wins the shard lock's TryAcquire becomes the combiner and
+// drains the ring: up to MaxBatch queued operations execute against
+// the engine under ONE Acquire/Release, completing futures as they
+// go. Once a weak core has paid for the lock it amortises the cost
+// over the whole queue instead of forcing a handoff per op — the
+// combining extension of the paper's handoff-policy argument, and a
+// direct application of Dice & Kogan's concurrency-restriction point:
+// the hot shard's lock admits one thread, everyone else delegates.
+//
+// The asymmetry-aware twist is combiner election bias: big-class
+// workers attempt election on every waiting pass while little-class
+// workers hold back (and eventually park), so under mixed traffic the
+// strong cores do the combining and the weak cores merely enqueue.
+// Since the critical-section cost is paid by the EXECUTING worker, an
+// op a little core enqueued runs at big-core speed when a big core
+// combines it — on real AMP hardware that is the whole win; under the
+// CSPad emulation the pad is keyed to the combiner's class for the
+// same reason. Election bias is a preference, not a dependency:
+// little workers still elect (and always serve themselves eventually),
+// so the pipeline is live with no big cores at all.
+
+// opKind is a pipeline request type.
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opPut
+	opDelete
+	opRange
+)
+
+// Future states. A request starts pending, is flipped to done by
+// exactly one completer, and passes through parked only while its
+// owner blocks on the wake channel.
+const (
+	futPending uint32 = iota
+	futDone
+	futParked
+)
+
+// request is one queued operation plus its future. Requests are
+// pooled: the completer's complete() call is its last touch, after
+// which the owner is free to read the results and recycle it.
+type request struct {
+	kind opKind
+	key  uint64     // Get/Put/Delete key
+	val  []byte     // Put value (retained by reference, as in Store.Put)
+	rng  []RangeReq // opRange: spans to collect on one shard
+
+	// Results, written by the executor before complete().
+	rval  []byte // Get: stored value
+	rok   bool   // Get: found / Put: inserted / Delete: was present
+	parts [][]KV // opRange: parts[i] is rng[i]'s slice of this shard
+
+	state atomic.Uint32
+	wake  chan struct{} // buffered(1); one token per park/wake pair
+	timer *time.Timer   // lazily built; parks are timed for liveness
+}
+
+// isDone reports completion.
+func (r *request) isDone() bool { return r.state.Load() == futDone }
+
+// complete publishes the result and wakes a parked owner. This is the
+// completer's LAST touch of r: the owner may recycle it immediately
+// after observing done.
+func (r *request) complete() {
+	if r.state.Swap(futDone) == futParked {
+		r.wake <- struct{}{}
+	}
+}
+
+// parkWait blocks the owner for at most d or until completion;
+// reports whether the request completed. The CAS pair with complete()
+// guarantees the wake channel is drained on every path, so pooled
+// requests never carry a stale token.
+func (r *request) parkWait(d time.Duration) bool {
+	if !r.state.CompareAndSwap(futPending, futParked) {
+		return true // completed before we could park
+	}
+	if r.timer == nil {
+		r.timer = time.NewTimer(d)
+	} else {
+		r.timer.Reset(d)
+	}
+	select {
+	case <-r.wake:
+		r.timer.Stop()
+		return true
+	case <-r.timer.C:
+		if !r.state.CompareAndSwap(futParked, futPending) {
+			// complete() won the race and has sent (or is about to
+			// send) the wake token; consume it before recycling.
+			<-r.wake
+			return true
+		}
+		return false
+	}
+}
+
+// Combiner election cadence. Big-class waiters try on every bigElect'th
+// pass starting immediately; little-class waiters only every
+// littleElect'th pass, so a present big core wins the election race.
+// Littles park after a short spin (they are the latency-tolerant
+// class); bigs spin much longer before giving up the CPU.
+const (
+	bigElect        = 4
+	littleElect     = 128
+	littleParkAfter = 1 << 9
+	bigParkAfter    = 1 << 14
+	minParkSlice    = 50 * time.Microsecond
+	maxParkSlice    = time.Millisecond
+)
+
+// pipeSpinner mirrors the locks package's internal spin helper: short
+// busy loops with periodic scheduler yields, so waiters make progress
+// even when GOMAXPROCS is smaller than the worker count.
+type pipeSpinner struct{ n uint }
+
+func (s *pipeSpinner) spin() {
+	s.n++
+	if s.n%64 == 0 {
+		runtime.Gosched()
+		return
+	}
+	for i := 0; i < 4; i++ {
+		_ = i
+	}
+}
+
+// AsyncConfig configures an AsyncStore.
+type AsyncConfig struct {
+	// MaxBatch bounds the operations a combiner executes under one
+	// lock take; 0 means 32. Reaching the bound releases the lock (so
+	// big-core FIFO entrants and sync-path users get their turn) and
+	// re-elects if the ring is still non-empty.
+	MaxBatch int
+	// RingSize is the per-shard queue capacity, rounded up to a power
+	// of two; 0 means 256. A full ring falls back to direct execution
+	// under the shard lock, so enqueue never blocks on space.
+	RingSize int
+}
+
+// pipeShard is one shard's pipeline state: the request ring plus
+// combining counters.
+type pipeShard struct {
+	ring *reqRing
+	// executed counts ring requests executed AND completed, i.e. the
+	// ring position up to which results are real. It trails the ring's
+	// head cursor, which advances at dequeue time: Flush/Close must
+	// wait on executed, not head, or a request a concurrent combiner
+	// has dequeued but not yet run would count as flushed.
+	executed  atomic.Uint64
+	lockTakes atomic.Uint64
+	combined  atomic.Uint64
+	direct    atomic.Uint64
+	handoffs  atomic.Uint64
+	depthHW   atomic.Uint64
+	// takesBy counts lock takes per electing class, indexed by
+	// core.Class (Big = 0, Little = 1).
+	takesBy [2]atomic.Uint64
+	last    atomic.Pointer[core.Worker]
+	_       [64]byte
+}
+
+// noteTake records one async-path lock take by worker w.
+func (q *pipeShard) noteTake(w *core.Worker) {
+	q.lockTakes.Add(1)
+	q.takesBy[w.Class()].Add(1)
+	if prev := q.last.Swap(w); prev != nil && prev != w {
+		q.handoffs.Add(1)
+	}
+}
+
+// noteDepth folds the current queue depth into the high-water mark.
+func (q *pipeShard) noteDepth() {
+	d := q.ring.Len()
+	for {
+		hw := q.depthHW.Load()
+		if d <= hw || q.depthHW.CompareAndSwap(hw, d) {
+			return
+		}
+	}
+}
+
+// CombineStats is a snapshot of one shard's combining counters.
+type CombineStats struct {
+	// LockTakes counts shard-lock acquisitions made on the async path
+	// (combiner elections won plus ring-full direct takes).
+	LockTakes uint64
+	// Combined counts operations executed on the async path. Combined
+	// / LockTakes is the ops-per-lock-take the pipeline exists to
+	// raise above 1.
+	Combined uint64
+	// Direct counts ring-full fallbacks (executed solo under a
+	// blocking acquire; their ops and takes are included above).
+	Direct uint64
+	// Handoffs counts lock takes won by a different worker than the
+	// previous combiner — combiner identity churn.
+	Handoffs uint64
+	// DepthHW is the queue-depth high-water mark observed at enqueue.
+	DepthHW uint64
+	// BigTakes and LittleTakes split LockTakes by the elector's class;
+	// under mixed traffic the election bias should keep BigTakes well
+	// ahead.
+	BigTakes, LittleTakes uint64
+}
+
+// OpsPerLockTake returns Combined/LockTakes (0 when idle).
+func (c CombineStats) OpsPerLockTake() float64 {
+	if c.LockTakes == 0 {
+		return 0
+	}
+	return float64(c.Combined) / float64(c.LockTakes)
+}
+
+// AsyncStore is the combining front end. It wraps a Store and shares
+// its shard locks, so async and plain synchronous calls on the same
+// Store interleave safely (sync holders simply delay the combiner).
+// All methods are safe for concurrent use; as everywhere in this
+// repository, each goroutine must own its *core.Worker.
+type AsyncStore struct {
+	st     *Store
+	qs     []pipeShard
+	max    int
+	pool   sync.Pool
+	closed atomic.Bool
+}
+
+// NewAsync builds a combining front end over st.
+func NewAsync(st *Store, cfg AsyncConfig) *AsyncStore {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	a := &AsyncStore{st: st, max: cfg.MaxBatch, qs: make([]pipeShard, st.NumShards())}
+	for i := range a.qs {
+		a.qs[i].ring = newReqRing(cfg.RingSize)
+	}
+	a.pool.New = func() any { return &request{wake: make(chan struct{}, 1)} }
+	return a
+}
+
+// Store returns the wrapped synchronous store (for Stats, Len, or
+// direct calls).
+func (a *AsyncStore) Store() *Store { return a.st }
+
+func (a *AsyncStore) newReq(kind opKind) *request {
+	r := a.pool.Get().(*request)
+	r.kind = kind
+	r.state.Store(futPending)
+	return r
+}
+
+// putReq recycles r. Result slices escape to callers, so every
+// reference is dropped here.
+func (a *AsyncStore) putReq(r *request) {
+	r.val, r.rval, r.rng, r.parts = nil, nil, nil, nil
+	r.rok = false
+	a.pool.Put(r)
+}
+
+func (a *AsyncStore) checkOpen() {
+	if a.closed.Load() {
+		panic("shardedkv: AsyncStore used after Close")
+	}
+}
+
+// exec runs one request against the shard's engine; the caller holds
+// the shard lock. The CSPad and the store's per-shard counters apply
+// exactly as on the synchronous path, with the pad keyed to the
+// EXECUTING worker's class: combining by a big core makes a little
+// core's op cheap, which is the point.
+func (a *AsyncStore) exec(w *core.Worker, sh *shard, r *request) {
+	switch r.kind {
+	case opGet:
+		r.rval, r.rok = sh.eng.Get(r.key)
+		a.st.pad(w)
+		sh.gets.Add(1)
+	case opPut:
+		r.rok = sh.eng.Put(r.key, r.val)
+		a.st.pad(w)
+		sh.puts.Add(1)
+	case opDelete:
+		r.rok = sh.eng.Delete(r.key)
+		a.st.pad(w)
+		sh.deletes.Add(1)
+	case opRange:
+		// Collect under the lock, complete the future, and let the
+		// OWNER run its callback after release — a combiner must never
+		// execute user code while it holds the shard lock (the same
+		// collect-then-emit contract as Store.Range).
+		if br, ok := sh.eng.(batchRanger); ok && len(r.rng) > 1 {
+			br.BatchRange(r.rng, func(ri int, k uint64, v []byte) {
+				r.parts[ri] = append(r.parts[ri], KV{Key: k, Value: v})
+			})
+			a.st.pad(w)
+		} else {
+			for i, rr := range r.rng {
+				sh.eng.Range(rr.Lo, rr.Hi, func(k uint64, v []byte) bool {
+					r.parts[i] = append(r.parts[i], KV{Key: k, Value: v})
+					return true
+				})
+				a.st.pad(w)
+			}
+		}
+		sh.scans.Add(uint64(len(r.rng)))
+	}
+}
+
+// drain executes up to MaxBatch queued requests; the caller holds the
+// shard lock. Returns the number executed.
+func (a *AsyncStore) drain(w *core.Worker, si int) int {
+	sh := &a.st.shards[si]
+	q := &a.qs[si]
+	n := 0
+	for n < a.max {
+		r := q.ring.dequeue()
+		if r == nil {
+			break
+		}
+		a.exec(w, sh, r)
+		r.complete()
+		q.executed.Add(1)
+		n++
+	}
+	if n > 0 {
+		q.combined.Add(uint64(n))
+	}
+	return n
+}
+
+// tryCombine runs ONE combiner election on shard si; a win drains at
+// most MaxBatch queued ops under a single lock take. Reports whether
+// it actually drained work — callers spin-wait on false, which also
+// covers the won-but-empty case (a producer stalled between its ring
+// claim and its publish). A failed TryAcquire means whoever holds the
+// lock is either a combiner (and is draining) or a sync-path user of
+// the shared lock (and will release soon) — the caller keeps waiting
+// on its own future either way. Bounding each call to one take keeps
+// a busy shard from turning its current combiner into a permanent
+// server: between batches the lock is released, FIFO entrants and
+// sync-path users get their turn, and the ex-combiner re-checks its
+// own future before volunteering again.
+func (a *AsyncStore) tryCombine(w *core.Worker, si int) bool {
+	sh := &a.st.shards[si]
+	q := &a.qs[si]
+	if q.ring.Empty() {
+		return false
+	}
+	if !sh.lock.TryAcquire(w) {
+		return false
+	}
+	// Count the take only when it drains something: empty takes must
+	// not dilute the ops-per-lock-take metric.
+	n := a.drain(w, si)
+	if n > 0 {
+		q.noteTake(w)
+	}
+	sh.lock.Release(w)
+	return n > 0
+}
+
+// execDirect is the ring-full fallback: execute r solo under a
+// blocking acquire, then drain whatever is queued — the ring was full
+// a moment ago, so there is combining work to amortise the take over.
+func (a *AsyncStore) execDirect(w *core.Worker, si int, r *request) {
+	sh := &a.st.shards[si]
+	q := &a.qs[si]
+	sh.lock.Acquire(w)
+	q.noteTake(w)
+	q.direct.Add(1)
+	a.exec(w, sh, r)
+	q.combined.Add(1)
+	a.drain(w, si)
+	sh.lock.Release(w)
+	r.complete()
+}
+
+// await drives the waiting side of one enqueued request: spin, attempt
+// combiner election at the class's cadence, park when patience runs
+// out. Parks are timed, so even a worst-case interleaving (combiner
+// released just before we parked, nobody else awake) only costs one
+// park slice, not liveness.
+func (a *AsyncStore) await(w *core.Worker, si int, r *request) {
+	big := w.Class() == core.Big
+	elect, parkAfter := littleElect, littleParkAfter
+	if big {
+		elect, parkAfter = bigElect, bigParkAfter
+	}
+	slice := minParkSlice
+	var s pipeSpinner
+	for pass := 0; ; pass++ {
+		if r.isDone() {
+			return
+		}
+		// Both classes sit out one cadence before their first try —
+		// a request enqueued while a combiner is active is usually
+		// drained within a few passes, and electing before that just
+		// buys a singleton batch. Bigs re-try every few passes
+		// (strong cores combine); littles wait out a much longer
+		// cadence, giving any big-core waiter the win before serving
+		// themselves.
+		if pass%elect == elect-1 {
+			if a.tryCombine(w, si) && r.isDone() {
+				return
+			}
+		}
+		if pass >= parkAfter {
+			if r.parkWait(slice) {
+				return
+			}
+			if slice < maxParkSlice {
+				slice *= 2
+			}
+			continue
+		}
+		s.spin()
+	}
+}
+
+// submit enqueues r on shard si (or executes it directly when the ring
+// is full) without waiting for completion.
+func (a *AsyncStore) submit(w *core.Worker, si int, r *request) {
+	q := &a.qs[si]
+	if !q.ring.enqueue(r) {
+		a.execDirect(w, si, r)
+		return
+	}
+	q.noteDepth()
+}
+
+// run submits r on shard si and waits for it.
+func (a *AsyncStore) run(w *core.Worker, si int, r *request) {
+	a.submit(w, si, r)
+	if !r.isDone() {
+		a.await(w, si, r)
+	}
+}
+
+// Get reads k through the pipeline on behalf of worker w.
+func (a *AsyncStore) Get(w *core.Worker, k uint64) ([]byte, bool) {
+	a.checkOpen()
+	r := a.newReq(opGet)
+	r.key = k
+	a.run(w, a.st.ShardOf(k), r)
+	v, ok := r.rval, r.rok
+	a.putReq(r)
+	return v, ok
+}
+
+// Put stores k=v through the pipeline; reports insert-vs-replace. As
+// with Store.Put, v is retained by reference until the op executes.
+func (a *AsyncStore) Put(w *core.Worker, k uint64, v []byte) bool {
+	a.checkOpen()
+	r := a.newReq(opPut)
+	r.key, r.val = k, v
+	a.run(w, a.st.ShardOf(k), r)
+	ok := r.rok
+	a.putReq(r)
+	return ok
+}
+
+// Delete removes k through the pipeline; reports presence.
+func (a *AsyncStore) Delete(w *core.Worker, k uint64) bool {
+	a.checkOpen()
+	r := a.newReq(opDelete)
+	r.key = k
+	a.run(w, a.st.ShardOf(k), r)
+	ok := r.rok
+	a.putReq(r)
+	return ok
+}
+
+// MultiGet reads all keys through the pipeline: every request is
+// enqueued up front (one per key, fanned out across the shard rings so
+// combiners on different shards work in parallel), then awaited.
+// vals[i] and ok[i] correspond to keys[i].
+func (a *AsyncStore) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok []bool) {
+	a.checkOpen()
+	vals = make([][]byte, len(keys))
+	ok = make([]bool, len(keys))
+	reqs := make([]*request, len(keys))
+	for i, k := range keys {
+		r := a.newReq(opGet)
+		r.key = k
+		reqs[i] = r
+		a.submit(w, a.st.ShardOf(k), r)
+	}
+	for i, r := range reqs {
+		if !r.isDone() {
+			a.await(w, a.st.ShardOf(keys[i]), r)
+		}
+		vals[i], ok[i] = r.rval, r.rok
+		a.putReq(r)
+	}
+	return vals, ok
+}
+
+// MultiPut writes all pairs through the pipeline (submit all, then
+// await all); returns the number of newly inserted keys. Unlike
+// Store.MultiPut, duplicate keys within the batch may execute in any
+// order relative to each other — the pipeline preserves per-ring FIFO,
+// which is per-shard arrival order, not batch order.
+func (a *AsyncStore) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
+	a.checkOpen()
+	reqs := make([]*request, len(kvs))
+	for i, kv := range kvs {
+		r := a.newReq(opPut)
+		r.key, r.val = kv.Key, kv.Value
+		reqs[i] = r
+		a.submit(w, a.st.ShardOf(kv.Key), r)
+	}
+	for i, r := range reqs {
+		if !r.isDone() {
+			a.await(w, a.st.ShardOf(kvs[i].Key), r)
+		}
+		if r.rok {
+			inserted++
+		}
+		a.putReq(r)
+	}
+	return inserted
+}
+
+// collectRanges pushes one opRange request per shard (each carrying
+// the whole span set), awaits them all, and merges the per-shard
+// slices per request. out[i] is reqs[i]'s result in ascending key
+// order. The view matches Store.MultiRange: per-shard consistent, all
+// spans seeing each shard at the same instant.
+func (a *AsyncStore) collectRanges(w *core.Worker, reqs []RangeReq) [][]KV {
+	nsh := len(a.qs)
+	rs := make([]*request, nsh)
+	for si := 0; si < nsh; si++ {
+		r := a.newReq(opRange)
+		r.rng = reqs
+		r.parts = make([][]KV, len(reqs))
+		rs[si] = r
+		a.submit(w, si, r)
+	}
+	parts := make([][][]KV, len(reqs)) // parts[request][shard]
+	for ri := range parts {
+		parts[ri] = make([][]KV, nsh)
+	}
+	for si, r := range rs {
+		if !r.isDone() {
+			a.await(w, si, r)
+		}
+		for ri := range reqs {
+			parts[ri][si] = r.parts[ri]
+		}
+		a.putReq(r)
+	}
+	out := make([][]KV, len(reqs))
+	for ri := range reqs {
+		out[ri] = mergeKV(parts[ri])
+	}
+	return out
+}
+
+// Range calls fn for every key in [lo, hi] in ascending key order.
+// Collection runs through the pipeline (one combiner-executed request
+// per shard, so shards are collected in parallel when combiners are
+// active); fn runs in the CALLER, strictly after every shard lock has
+// been released — a combiner never executes user callbacks.
+func (a *AsyncStore) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	a.checkOpen()
+	res := a.collectRanges(w, []RangeReq{{Lo: lo, Hi: hi}})
+	for _, kv := range res[0] {
+		if !fn(kv.Key, kv.Value) {
+			return
+		}
+	}
+}
+
+// MultiRange executes all range requests through the pipeline; out[i]
+// is request i's result in ascending key order.
+func (a *AsyncStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
+	a.checkOpen()
+	if len(reqs) == 0 {
+		return make([][]KV, 0)
+	}
+	return a.collectRanges(w, reqs)
+}
+
+// Flush blocks until every request enqueued before the call has
+// executed, combining on the caller's worker where it can. Concurrent
+// enqueuers may extend the drain (their requests slot in behind the
+// cut-off), but the pre-Flush prefix is guaranteed done on return.
+func (a *AsyncStore) Flush(w *core.Worker) {
+	for si := range a.qs {
+		q := &a.qs[si]
+		target := q.ring.tailPos()
+		var s pipeSpinner
+		// Wait on the executed cursor, not the ring head: a request a
+		// concurrent combiner has dequeued but not yet run is not
+		// flushed.
+		for q.executed.Load() < target {
+			if !a.tryCombine(w, si) {
+				s.spin()
+			}
+		}
+	}
+}
+
+// Close flushes the rings and marks the pipeline closed: subsequent
+// pipeline calls panic. Callers must have quiesced (a submitter racing
+// Close keeps its own liveness — owners always self-serve — but its op
+// may execute after Close returns). The underlying Store stays usable.
+func (a *AsyncStore) Close(w *core.Worker) {
+	if a.closed.Swap(true) {
+		return
+	}
+	for si := range a.qs {
+		q := &a.qs[si]
+		var s pipeSpinner
+		for !q.ring.Empty() || q.executed.Load() < q.ring.headPos() {
+			if !a.tryCombine(w, si) {
+				s.spin()
+			}
+		}
+	}
+}
+
+// CombineStats snapshots every shard's combining counters.
+func (a *AsyncStore) CombineStats() []CombineStats {
+	out := make([]CombineStats, len(a.qs))
+	for i := range a.qs {
+		q := &a.qs[i]
+		out[i] = CombineStats{
+			LockTakes:   q.lockTakes.Load(),
+			Combined:    q.combined.Load(),
+			Direct:      q.direct.Load(),
+			Handoffs:    q.handoffs.Load(),
+			DepthHW:     q.depthHW.Load(),
+			BigTakes:    q.takesBy[core.Big].Load(),
+			LittleTakes: q.takesBy[core.Little].Load(),
+		}
+	}
+	return out
+}
+
+// AggregateCombineStats sums CombineStats across shards (DepthHW takes
+// the max).
+func (a *AsyncStore) AggregateCombineStats() CombineStats {
+	var agg CombineStats
+	for _, c := range a.CombineStats() {
+		agg.LockTakes += c.LockTakes
+		agg.Combined += c.Combined
+		agg.Direct += c.Direct
+		agg.Handoffs += c.Handoffs
+		if c.DepthHW > agg.DepthHW {
+			agg.DepthHW = c.DepthHW
+		}
+		agg.BigTakes += c.BigTakes
+		agg.LittleTakes += c.LittleTakes
+	}
+	return agg
+}
+
+// String summarises the pipeline layout.
+func (a *AsyncStore) String() string {
+	return fmt.Sprintf("shardedkv.AsyncStore{shards: %d, maxBatch: %d, ring: %d}",
+		len(a.qs), a.max, a.qs[0].ring.Cap())
+}

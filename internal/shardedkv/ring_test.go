@@ -1,0 +1,114 @@
+package shardedkv
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRingFIFO checks single-threaded order, emptiness, and the
+// capacity bound.
+func TestRingFIFO(t *testing.T) {
+	r := newReqRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	if !r.Empty() || r.dequeue() != nil {
+		t.Fatal("new ring must be empty")
+	}
+	reqs := make([]*request, 8)
+	for i := range reqs {
+		reqs[i] = &request{key: uint64(i)}
+		if !r.enqueue(reqs[i]) {
+			t.Fatalf("enqueue %d failed below capacity", i)
+		}
+	}
+	if r.enqueue(&request{}) {
+		t.Fatal("enqueue succeeded on a full ring")
+	}
+	for i := range reqs {
+		got := r.dequeue()
+		if got != reqs[i] {
+			t.Fatalf("dequeue %d: got %v, want key %d", i, got, i)
+		}
+	}
+	if !r.Empty() || r.dequeue() != nil {
+		t.Fatal("drained ring must be empty")
+	}
+}
+
+// TestRingWrapLaps drives the cursors through several laps with the
+// ring near-full, exercising the sequence-number recycling.
+func TestRingWrapLaps(t *testing.T) {
+	r := newReqRing(3) // rounds up to 4
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	next := uint64(0)
+	want := uint64(0)
+	for lap := 0; lap < 10; lap++ {
+		for r.enqueue(&request{key: next}) {
+			next++
+		}
+		// Drain half, refill, drain fully: order must survive wrap.
+		for i := 0; i < 2; i++ {
+			if got := r.dequeue(); got == nil || got.key != want {
+				t.Fatalf("lap %d: got %v, want key %d", lap, got, want)
+			}
+			want++
+		}
+	}
+	for !r.Empty() {
+		if got := r.dequeue(); got == nil || got.key != want {
+			t.Fatalf("final drain: got %v, want key %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("consumed %d, produced %d", want, next)
+	}
+}
+
+// TestRingConcurrentProducers runs many producers against a single
+// consumer (the MPSC contract): every request must arrive exactly
+// once, and each producer's requests must arrive in its enqueue order.
+// Run with -race; the seq-number publication protocol is the subject.
+func TestRingConcurrentProducers(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+	)
+	r := newReqRing(64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				req := &request{key: uint64(p)<<32 | uint64(i)}
+				for !r.enqueue(req) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	seen := make([]int, producers)
+	total := 0
+	for total < producers*perProd {
+		req := r.dequeue()
+		if req == nil {
+			runtime.Gosched()
+			continue
+		}
+		p, i := int(req.key>>32), int(req.key&0xffffffff)
+		if i != seen[p] {
+			t.Fatalf("producer %d: got seq %d, want %d (per-producer FIFO broken)", p, i, seen[p])
+		}
+		seen[p]++
+		total++
+	}
+	wg.Wait()
+	if !r.Empty() {
+		t.Fatal("ring must be empty after consuming everything")
+	}
+}
