@@ -41,7 +41,9 @@ fmt-check:
 test:
 	$(GO) test ./...
 
-# Reduced smoke paths (figures run scaled-down reproductions).
+# Reduced smoke paths (figures run scaled-down reproductions; the
+# shardedkv reshard tests force splits mid-stress even under -short,
+# so every ci run exercises the shard-map swap path).
 short:
 	$(GO) test -short ./...
 
@@ -59,8 +61,12 @@ bench:
 # BENCH_kvbench.json (CI uploads it as an artifact). The configuration
 # is deliberately contended — few shards, a microsecond critical
 # section, the write-heavy zipfian mix — so the pipe-* rows show real
-# combining (ops_per_lock_take > 1).
+# combining (ops_per_lock_take > 1), the rs-* rows reshard mid-run
+# (splits/reshard_events in the records), and the pipe-ff-* rows show
+# the fire-and-forget write path. rs-* rows are trend data like
+# everything else here: split counts depend on how fast skew
+# accumulates inside the short measured window.
 bench-json:
 	$(GO) run ./cmd/kvbench -engines hashkv,lsm -mixes zipfw,zipf \
-		-locks asl,mutex -pipeline -shards 4 -cs 1us \
-		-dur 300ms -warmup 100ms -json BENCH_kvbench.json
+		-locks asl,mutex -pipeline -reshard -ff -shards 4 -cs 1us \
+		-dur 500ms -warmup 150ms -json BENCH_kvbench.json

@@ -10,20 +10,31 @@
 //	kvbench -engines hashkv,btree -mixes zipf -locks all
 //	kvbench -threads 8 -bigs 4 -slo 200us -dur 1s -shardstats
 //	kvbench -pipeline -mixes zipfw           # ASL vs combining vs plain, one grid
+//	kvbench -pipeline -reshard -ff           # + rs-*, rs-pipe-*, pipe-ff-* rows
 //	kvbench -json BENCH_kvbench.json         # append a trajectory record per row
 //
 // Mixes: read (95% get), write (80% put), zipf (YCSB-A 50/50 over
 // zipfian keys), zipfw (write-heavy 80% put over zipfian keys — the
-// hot-shard regime combining targets), batch (MultiGet/MultiPut, keys
-// sorted by shard), scan (YCSB-E 95% range scan / 5% put over
-// -span-wide windows), and scanbatch (MultiRange, -batch ranges per
-// request grouped by shard).
+// hot-shard regime combining and resharding target), batch
+// (MultiGet/MultiPut, keys sorted by shard), scan (YCSB-E 95% range
+// scan / 5% put over -span-wide windows), and scanbatch (MultiRange,
+// -batch ranges per request grouped by shard).
 // Locks: asl, asl-blocking (for hosts with more workers than cores),
 // mutex, mcs, pthread. With -pipeline every selected lock also runs a
 // pipe-<lock> row that routes operations through the flat-combining
 // AsyncStore front end over the same shard locks, so handoff-policy
 // (ASL) and combining answers to the same contention are one grid run;
-// pipe rows report ops-per-lock-take on stderr and in the -json record.
+// pipe rows report ops-per-lock-take on stderr and in the -json record
+// (by default the combiner's drain bound is adaptive; -pipebatch N
+// fixes it). -ff adds a pipe-ff-<lock> row whose writes go through the
+// fire-and-forget PutAsync path (submit without waiting; the run's
+// epilogue Flush is the write barrier). -reshard adds rs-<lock> (and,
+// with -pipeline, rs-pipe-<lock>) rows on a store with the skew
+// detector live: sustained hot shards split mid-run, and the reshard
+// event/split counts land on stderr and in the -json records. Like
+// every trajectory number, rs-* rows are trend data, not gates —
+// shared runners are noisy and splits depend on how fast skew
+// accumulates within the measured window.
 package main
 
 import (
@@ -60,6 +71,7 @@ type benchConfig struct {
 	ncsUnits  int64
 	csUnits   int64
 	pipeBatch int
+	skew      float64
 }
 
 type mixSpec struct {
@@ -91,16 +103,34 @@ type lockSpec struct {
 	// pipe routes operations through the flat-combining AsyncStore
 	// front end over the same shard locks.
 	pipe bool
+	// ff additionally routes writes through the fire-and-forget
+	// PutAsync path (implies pipe's AsyncStore).
+	ff bool
+	// reshard runs the row on a store with the skew detector live.
+	reshard bool
 }
 
-// withPipeline expands each lock into itself plus its pipe-* sibling,
-// so plain handoff and combining run back to back under identical
-// sharding, engines, and mixes.
-func withPipeline(lks []lockSpec) []lockSpec {
-	out := make([]lockSpec, 0, 2*len(lks))
+// expandLocks grows each base lock into its comparison family: the
+// plain row, a pipe-* combining sibling (-pipeline), a pipe-ff-*
+// fire-and-forget sibling (-ff), and rs-*/rs-pipe-* dynamic-reshard
+// siblings (-reshard) — so handoff policy, combining, and shard
+// fission all answer the same contention in one grid run.
+func expandLocks(lks []lockSpec, pipeline, ff, reshard bool) []lockSpec {
+	var out []lockSpec
 	for _, lk := range lks {
 		out = append(out, lk)
-		out = append(out, lockSpec{name: "pipe-" + lk.name, f: lk.f, slo: lk.slo, pipe: true})
+		if pipeline {
+			out = append(out, lockSpec{name: "pipe-" + lk.name, f: lk.f, slo: lk.slo, pipe: true})
+		}
+		if ff {
+			out = append(out, lockSpec{name: "pipe-ff-" + lk.name, f: lk.f, slo: lk.slo, pipe: true, ff: true})
+		}
+		if reshard {
+			out = append(out, lockSpec{name: "rs-" + lk.name, f: lk.f, slo: lk.slo, reshard: true})
+			if pipeline {
+				out = append(out, lockSpec{name: "rs-pipe-" + lk.name, f: lk.f, slo: lk.slo, pipe: true, reshard: true})
+			}
+		}
 	}
 	return out
 }
@@ -151,29 +181,62 @@ type kvAPI interface {
 	MultiRange(w *core.Worker, reqs []shardedkv.RangeReq) [][]shardedkv.KV
 }
 
+// ffAPI routes point writes through the fire-and-forget PutAsync path
+// (submit without waiting); everything else stays on the waited
+// pipeline. The insert-vs-replace answer is unknowable without
+// waiting, so Put reports false — the bench ignores it.
+type ffAPI struct{ *shardedkv.AsyncStore }
+
+func (f ffAPI) Put(w *core.Worker, k uint64, v []byte) bool {
+	f.AsyncStore.PutAsync(w, k, v)
+	return false
+}
+
 // run executes one configuration and returns its summary row, the
-// store's per-shard counters, and (for pipe rows) the aggregate
-// combining stats.
-func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats, *shardedkv.CombineStats) {
+// store's per-shard counters, and (for pipe/rs rows) the aggregate
+// combining and resharding stats.
+func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats, *shardedkv.CombineStats, *shardedkv.ReshardStats) {
 	// The critical-section pad emulates the paper's AMP regime on a
 	// symmetric host: a little-class holder keeps the shard lock
 	// CSFactor times longer, exactly the condition under which FIFO
 	// queues collapse and bounded reordering pays (Fig. 1 vs Fig. 4).
 	shim := workload.DefaultShim()
-	st := shardedkv.New(shardedkv.Config{
+	scfg := shardedkv.Config{
 		Shards:    cfg.shards,
 		NewEngine: eng.New,
 		NewLock:   lk.f,
 		CSPad: func(w *core.Worker) {
 			workload.Spin(shim.CSUnits(cfg.csUnits, w.Class()))
 		},
-	})
+	}
+	if lk.reshard {
+		// An aggressive detector relative to the run length: several
+		// observation windows fit in the measured duration, so a
+		// sustained zipf hot shard splits while the row is recording.
+		window := cfg.dur / 10
+		if window < 20*time.Millisecond {
+			window = 20 * time.Millisecond
+		}
+		scfg.Reshard = &shardedkv.ReshardConfig{
+			SkewFactor:    cfg.skew,
+			Window:        window,
+			Sustain:       2,
+			MinOps:        256,
+			MinContention: 0.005,
+			MaxShards:     cfg.shards * 8,
+		}
+	}
+	st := shardedkv.New(scfg)
 	preload(st, cfg)
 	var api kvAPI = st
 	var async *shardedkv.AsyncStore
 	if lk.pipe {
 		async = shardedkv.NewAsync(st, shardedkv.AsyncConfig{MaxBatch: cfg.pipeBatch})
-		api = async
+		if lk.ff {
+			api = ffAPI{async}
+		} else {
+			api = async
+		}
 	}
 	var keygen workload.KeyGen = workload.NewUniform(cfg.keys)
 	if mix.zipf {
@@ -282,10 +345,19 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 	}
 	var comb *shardedkv.CombineStats
 	if async != nil {
+		// Settle in-flight (fire-and-forget) requests so the combining
+		// counters account for every submitted op.
+		async.Flush(core.NewWorker(core.WorkerConfig{Class: core.Big}))
 		c := async.AggregateCombineStats()
 		comb = &c
 	}
-	return merged.Summarize(name, cfg.dur), st.Stats(), comb
+	var rs *shardedkv.ReshardStats
+	if lk.reshard {
+		st.StopReshard()
+		r := st.ReshardStats()
+		rs = &r
+	}
+	return merged.Summarize(name, cfg.dur), st.Stats(), comb, rs
 }
 
 // benchRecord is one row of the bench trajectory: CI appends these to
@@ -302,6 +374,12 @@ type benchRecord struct {
 	// OpsPerLockTake is the combining ratio; present only on pipe-*
 	// rows, where > 1 means the combiner is actually batching.
 	OpsPerLockTake float64 `json:"ops_per_lock_take,omitempty"`
+	// Splits/ReshardEvents/Shards are the rs-* rows' resharding
+	// trajectory: shards split, detector windows that split something,
+	// and the final live shard count.
+	Splits        uint64 `json:"splits,omitempty"`
+	ReshardEvents uint64 `json:"reshard_events,omitempty"`
+	Shards        int    `json:"shards,omitempty"`
 }
 
 // currentCommit resolves the commit id stamped into trajectory
@@ -375,7 +453,10 @@ func main() {
 	mixes := flag.String("mixes", "all", "comma list of read|write|zipf|zipfw|batch|scan|scanbatch, or all")
 	lockSel := flag.String("locks", "asl,mutex", "comma list of asl|asl-blocking|mutex|mcs|pthread, or all")
 	pipeline := flag.Bool("pipeline", false, "also run a pipe-<lock> row per lock: ops routed through the flat-combining AsyncStore")
-	pipeBatch := flag.Int("pipebatch", 32, "max ops a pipeline combiner executes per lock take")
+	ff := flag.Bool("ff", false, "also run a pipe-ff-<lock> row per lock: writes submitted fire-and-forget (PutAsync)")
+	reshard := flag.Bool("reshard", false, "also run rs-<lock> (and, with -pipeline, rs-pipe-<lock>) rows with the skew detector splitting hot shards mid-run")
+	skew := flag.Float64("skew", 1.2, "reshard skew factor: a shard splits after sustaining this multiple of its fair ops share")
+	pipeBatch := flag.Int("pipebatch", 0, "max ops a pipeline combiner executes per lock take; 0 = adaptive per-shard bound")
 	jsonPath := flag.String("json", "", "append one {commit, engine, mix, lock, ops_per_sec, p99} record per row to this JSON file")
 	shards := flag.Int("shards", 16, "shard count")
 	threads := flag.Int("threads", 8, "total workers (first -bigs are big-class)")
@@ -420,11 +501,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvbench: -locks: %v\n", err)
 		os.Exit(2)
 	}
-	if *pipeline {
-		lks = withPipeline(lks)
+	lks = expandLocks(lks, *pipeline, *ff, *reshard)
+	if *pipeBatch < 0 {
+		fmt.Fprintf(os.Stderr, "kvbench: -pipebatch must be >= 0 (got %d; 0 = adaptive)\n", *pipeBatch)
+		os.Exit(2)
 	}
-	if *pipeBatch < 1 {
-		fmt.Fprintf(os.Stderr, "kvbench: -pipebatch must be >= 1 (got %d)\n", *pipeBatch)
+	if *skew <= 1 {
+		fmt.Fprintf(os.Stderr, "kvbench: -skew must be > 1 (got %g)\n", *skew)
 		os.Exit(2)
 	}
 
@@ -444,6 +527,7 @@ func main() {
 		zipfS:     *zipfS,
 		ncsUnits:  cal.Units(*ncsGap),
 		pipeBatch: *pipeBatch,
+		skew:      *skew,
 	}
 	if *csPad > 0 {
 		cfg.csUnits = cal.Units(*csPad)
@@ -466,15 +550,20 @@ func main() {
 					mixName = fmt.Sprintf("%s%d", mix.name, cfg.batch)
 				}
 				name := fmt.Sprintf("%s/%s/%s", eng.Name, mixName, lk.name)
-				row, shardStats, comb := run(name, eng, mix, lk, cfg)
+				row, shardStats, comb, rs := run(name, eng, mix, lk, cfg)
 				rows = append(rows, row)
 				lastShards = shardStats
 				fmt.Fprintf(os.Stderr, "done: %s\n", name)
 				if comb != nil {
 					fmt.Fprintf(os.Stderr,
-						"  combining: %d ops / %d takes = %.2f ops/take (direct %d, handoffs %d, depthHW %d, big/little takes %d/%d)\n",
+						"  combining: %d ops / %d takes = %.2f ops/take (direct %d, handoffs %d, depthHW %d, maxbatch %d, big/little takes %d/%d)\n",
 						comb.Combined, comb.LockTakes, comb.OpsPerLockTake(),
-						comb.Direct, comb.Handoffs, comb.DepthHW, comb.BigTakes, comb.LittleTakes)
+						comb.Direct, comb.Handoffs, comb.DepthHW, comb.MaxBatchEff, comb.BigTakes, comb.LittleTakes)
+				}
+				if rs != nil {
+					fmt.Fprintf(os.Stderr,
+						"  reshard: %d splits over %d events, %d -> %d shards (map epoch %d)\n",
+						rs.Splits, rs.Events, cfg.shards, rs.Shards, rs.Epoch)
 				}
 				if *jsonPath != "" {
 					engine, mixCol, lockCol := splitRow(name)
@@ -489,6 +578,11 @@ func main() {
 					}
 					if comb != nil {
 						rec.OpsPerLockTake = comb.OpsPerLockTake()
+					}
+					if rs != nil {
+						rec.Splits = rs.Splits
+						rec.ReshardEvents = rs.Events
+						rec.Shards = rs.Shards
 					}
 					records = append(records, rec)
 				}

@@ -29,13 +29,34 @@
 // ring, callers enqueue Get/Put/Delete/Range requests and wait on
 // futures (spinning or parking by core class), and whoever wins the
 // shard lock's TryAcquire — big-class workers preferentially — becomes
-// the combiner, draining up to MaxBatch queued ops under a single
+// the combiner, draining a bounded batch of queued ops under a single
 // lock take. Weak cores enqueue, strong cores combine: the
 // flat-combining extension of the paper's handoff-policy argument,
 // with per-shard stats (ops-per-lock-take, combiner handoffs, queue
-// depth highwater) to show it batching. kvbench -pipeline adds
-// pipe-<lock> rows so handoff policy and combining answer the same
-// contention grid.
+// depth highwater, effective drain bound) to show it batching. The
+// drain bound is adaptive by default: it grows toward the observed
+// queue-depth highwater while big-core drains saturate it and decays
+// when a ring runs dry, so hot shards batch deep and cold shards stay
+// latency-lean. PutAsync/DeleteAsync submit fire-and-forget writes
+// whose futures recycle on execution (Flush is the write barrier).
+// kvbench -pipeline adds pipe-<lock> rows (and -ff pipe-ff-<lock>
+// rows) so handoff policy, combining, and fire-and-forget answer the
+// same contention grid.
+//
+// The store's data placement is dynamic: lookups route through a
+// copy-on-write shard map (an extendible-hashing directory swapped
+// atomically per split), and enabling Config.Reshard arms a skew
+// detector that watches each shard's traffic share plus two wait
+// signals — the lock-contention counters the locks.Contended wrapper
+// adds to every shard lock, and the pipeline's queue-depth estimate —
+// and splits a shard that sustains a configured skew factor. A split
+// rendezvouses only the affected shard: its ring is drained, its keys
+// partition into two children via Range, the map pointer swaps, and a
+// forward pointer redirects stale-snapshot readers, so the rest of
+// the store never stalls (shard fission in the spirit of Fissile
+// Locks, reacting to measured saturation per Dice & Kogan). kvbench
+// -reshard adds rs-<lock>/rs-pipe-<lock> rows whose records carry
+// split and reshard-event counts.
 //
 // CI (.github/workflows/ci.yml) gates every push/PR on `make ci`
 // (vet + gofmt + build + test, the race detector over all

@@ -40,6 +40,13 @@ func (e *hashEngine) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {
 	e.t.Range(lo, hi, fn)
 }
 
+// Scan walks every pair in chain order — no sort. Split partitioning
+// (shardmap.go) uses it so rehoming a hash shard's keys costs one
+// walk, not a full collect-and-sort.
+func (e *hashEngine) Scan(fn func(k uint64, v []byte) bool) {
+	e.t.Scan(fn)
+}
+
 // BatchRange serves a whole request batch in ONE chain walk: the
 // table's Range costs a full O(n) walk regardless of span, so running
 // it per request would multiply that walk (and its sort) by the batch

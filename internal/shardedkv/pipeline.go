@@ -19,10 +19,10 @@ import (
 // request (Get/Put/Delete/Range plus a future), enqueue it, and wait
 // for completion — spinning or parking according to their core class.
 // Whoever wins the shard lock's TryAcquire becomes the combiner and
-// drains the ring: up to MaxBatch queued operations execute against
-// the engine under ONE Acquire/Release, completing futures as they
-// go. Once a weak core has paid for the lock it amortises the cost
-// over the whole queue instead of forcing a handoff per op — the
+// drains the ring: up to the drain bound, queued operations execute
+// against the engine under ONE Acquire/Release, completing futures as
+// they go. Once a weak core has paid for the lock it amortises the
+// cost over the whole queue instead of forcing a handoff per op — the
 // combining extension of the paper's handoff-policy argument, and a
 // direct application of Dice & Kogan's concurrency-restriction point:
 // the hot shard's lock admits one thread, everyone else delegates.
@@ -38,6 +38,27 @@ import (
 // same reason. Election bias is a preference, not a dependency:
 // little workers still elect (and always serve themselves eventually),
 // so the pipeline is live with no big cores at all.
+//
+// The drain bound is adaptive by default (AsyncConfig.MaxBatch == 0):
+// each shard's bound starts at the old fixed default of 32 and doubles
+// while drains saturate it and the observed queue depth keeps up,
+// decaying back when the ring runs dry — so a zipf-hot shard's
+// combiner drains deeper per lock take while cold shards stay
+// latency-lean. Big-class combiners use the full bound; little-class
+// combiners cap at the old default, the drain-side mirror of the
+// election bias (big cores do the deep batches). A combiner on a hot
+// shard also lingers a bounded few microseconds when its ring runs
+// momentarily dry, picking up in-flight producers instead of paying
+// them a fresh lock take each.
+//
+// Resharding (shardmap.go) threads through the pipeline: rings follow
+// the shard map. A split drains the parent's ring under the split
+// rendezvous, spawns rings for the children before they are reachable,
+// and installs a forward pointer; a combiner that later drains a
+// request from the retired parent's ring routes it to the live child
+// (point ops hop by key hash; ranges collect across all live
+// descendants and merge), so no enqueued op is ever lost or executed
+// against a stale engine.
 
 // opKind is a pipeline request type.
 type opKind uint8
@@ -60,9 +81,12 @@ const (
 
 // request is one queued operation plus its future. Requests are
 // pooled: the completer's complete() call is its last touch, after
-// which the owner is free to read the results and recycle it.
+// which the owner is free to read the results and recycle it. A
+// fire-and-forget request (ff) has no waiting owner; the completer
+// recycles it instead of completing the future.
 type request struct {
 	kind opKind
+	ff   bool       // fire-and-forget: recycle on execution, nobody waits
 	key  uint64     // Get/Put/Delete key
 	val  []byte     // Put value (retained by reference, as in Store.Put)
 	rng  []RangeReq // opRange: spans to collect on one shard
@@ -131,6 +155,24 @@ const (
 	maxParkSlice    = time.Millisecond
 )
 
+// Adaptive drain-bound tuning (AsyncConfig.MaxBatch == 0). The bound
+// starts at the old fixed default, doubles while drains saturate it
+// (and the recent queue depth justifies it), and halves when the ring
+// runs dry. Little-class combiners cap their drains at the old
+// default; deep batches belong to big cores.
+const (
+	adaptiveInitBatch = 32
+	adaptiveMinBatch  = 8
+	adaptiveMaxBatch  = 1024
+	adaptiveLittleCap = 32
+	// lingerSpins bounds the combiner's dry-ring linger on a hot shard
+	// (hwRecent >= lingerMinDepth): a few hundred spin units trade a
+	// hair of hold time for whole lock takes saved by the producers
+	// arriving meanwhile.
+	lingerSpins    = 384
+	lingerMinDepth = 4
+)
+
 // pipeSpinner mirrors the locks package's internal spin helper: short
 // busy loops with periodic scheduler yields, so waiters make progress
 // even when GOMAXPROCS is smaller than the worker count.
@@ -150,9 +192,11 @@ func (s *pipeSpinner) spin() {
 // AsyncConfig configures an AsyncStore.
 type AsyncConfig struct {
 	// MaxBatch bounds the operations a combiner executes under one
-	// lock take; 0 means 32. Reaching the bound releases the lock (so
-	// big-core FIFO entrants and sync-path users get their turn) and
-	// re-elects if the ring is still non-empty.
+	// lock take. 0 (the default) selects the adaptive per-shard bound
+	// described above; a positive value fixes the bound for every
+	// shard. Reaching the bound releases the lock (so big-core FIFO
+	// entrants and sync-path users get their turn) and re-elects if
+	// the ring is still non-empty.
 	MaxBatch int
 	// RingSize is the per-shard queue capacity, rounded up to a power
 	// of two; 0 means 256. A full ring falls back to direct execution
@@ -161,9 +205,19 @@ type AsyncConfig struct {
 }
 
 // pipeShard is one shard's pipeline state: the request ring plus
-// combining counters.
+// combining counters and the adaptive drain bound. It follows the
+// shard, not a fixed index: splits retire a pipeShard along with its
+// shard and attach fresh ones to the children.
 type pipeShard struct {
+	sh   *shard
 	ring *reqRing
+	// fixed is the configured MaxBatch (0 = adaptive via bound).
+	fixed int
+	bound atomic.Int64
+	// hwRecent is a decaying queue-depth estimate: raised like depthHW
+	// at enqueue, decayed by idle drains. The adaptive bound grows
+	// toward it, never past it.
+	hwRecent atomic.Uint64
 	// executed counts ring requests executed AND completed, i.e. the
 	// ring position up to which results are real. It trails the ring's
 	// head cursor, which advances at dequeue time: Flush/Close must
@@ -191,15 +245,70 @@ func (q *pipeShard) noteTake(w *core.Worker) {
 	}
 }
 
-// noteDepth folds the current queue depth into the high-water mark.
+// noteDepth folds the current queue depth into the high-water mark and
+// the decaying recent-depth estimate.
 func (q *pipeShard) noteDepth() {
 	d := q.ring.Len()
 	for {
 		hw := q.depthHW.Load()
 		if d <= hw || q.depthHW.CompareAndSwap(hw, d) {
+			break
+		}
+	}
+	for {
+		hw := q.hwRecent.Load()
+		if d <= hw || q.hwRecent.CompareAndSwap(hw, d) {
 			return
 		}
 	}
+}
+
+// drainBound returns the bound this combiner's drain should use.
+func (q *pipeShard) drainBound(w *core.Worker) int {
+	if q.fixed > 0 {
+		return q.fixed
+	}
+	b := int(q.bound.Load())
+	if w.Class() == core.Little && b > adaptiveLittleCap {
+		b = adaptiveLittleCap
+	}
+	return b
+}
+
+// adapt updates the adaptive bound after a drain of n ops ran with the
+// given bound. Only full-bound (big-class) drains grow the shared
+// bound; any dry drain decays it (the recent-depth estimate decays in
+// decayDepth, fixed-bound pipelines included). Runs under the shard
+// lock, so updates are serialised; the plain stores racing a
+// concurrent noteDepth CAS are advisory-only.
+func (q *pipeShard) adapt(n, used int) {
+	b := int(q.bound.Load())
+	if used != b {
+		return
+	}
+	switch {
+	case n >= used && !q.ring.Empty():
+		hw := q.hwRecent.Load()
+		nb := min(b*2, adaptiveMaxBatch, q.ring.Cap())
+		if nb > b && uint64(b) <= hw {
+			q.bound.Store(int64(nb))
+		}
+	case n*4 < b && q.ring.Empty():
+		if b > adaptiveMinBatch {
+			q.bound.Store(int64(max(b/2, adaptiveMinBatch)))
+		}
+	}
+}
+
+// decayDepth ages the recent-depth estimate after a drain that ran the
+// ring dry. Runs under the shard lock for every drain, fixed bound or
+// adaptive — the skew detector's queue-pressure gate reads hwRecent,
+// so it must subside on idle rings either way, or one startup burst
+// would read as permanent saturation. The plain store racing a
+// concurrent producer's CAS-max is advisory-only, like noteDepth's.
+func (q *pipeShard) decayDepth() {
+	hw := q.hwRecent.Load()
+	q.hwRecent.Store(hw * 3 / 4) // integer decay that reaches 0
 }
 
 // CombineStats is a snapshot of one shard's combining counters.
@@ -219,6 +328,10 @@ type CombineStats struct {
 	Handoffs uint64
 	// DepthHW is the queue-depth high-water mark observed at enqueue.
 	DepthHW uint64
+	// MaxBatchEff is the drain bound currently in effect: the
+	// configured fixed MaxBatch, or the adaptive bound the shard has
+	// grown/decayed to.
+	MaxBatchEff uint64
 	// BigTakes and LittleTakes split LockTakes by the elector's class;
 	// under mixed traffic the election bias should keep BigTakes well
 	// ahead.
@@ -233,33 +346,98 @@ func (c CombineStats) OpsPerLockTake() float64 {
 	return float64(c.Combined) / float64(c.LockTakes)
 }
 
+// stats snapshots this pipeShard's counters.
+func (q *pipeShard) stats() CombineStats {
+	eff := uint64(q.fixed)
+	if q.fixed == 0 {
+		eff = uint64(q.bound.Load())
+	}
+	return CombineStats{
+		LockTakes:   q.lockTakes.Load(),
+		Combined:    q.combined.Load(),
+		Direct:      q.direct.Load(),
+		Handoffs:    q.handoffs.Load(),
+		DepthHW:     q.depthHW.Load(),
+		MaxBatchEff: eff,
+		BigTakes:    q.takesBy[core.Big].Load(),
+		LittleTakes: q.takesBy[core.Little].Load(),
+	}
+}
+
 // AsyncStore is the combining front end. It wraps a Store and shares
 // its shard locks, so async and plain synchronous calls on the same
 // Store interleave safely (sync holders simply delay the combiner).
 // All methods are safe for concurrent use; as everywhere in this
-// repository, each goroutine must own its *core.Worker.
+// repository, each goroutine must own its *core.Worker. A Store
+// accepts at most one AsyncStore over its lifetime (the rings are
+// threaded through the shard map).
 type AsyncStore struct {
-	st     *Store
-	qs     []pipeShard
-	max    int
-	pool   sync.Pool
-	closed atomic.Bool
+	st       *Store
+	fixed    int
+	ringSize int
+	pool     sync.Pool
+	closed   atomic.Bool
+	// mu guards all: the append-only list of every pipeShard ever
+	// attached, retired parents included — Flush and the stats
+	// aggregates walk history, not just the live map.
+	mu  sync.Mutex
+	all []*pipeShard
 }
 
-// NewAsync builds a combining front end over st.
+// NewAsync builds a combining front end over st and attaches it to
+// the store's shard map (so dynamic resharding threads the rings
+// through splits). Panics if st already has an AsyncStore.
 func NewAsync(st *Store, cfg AsyncConfig) *AsyncStore {
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = 32
+	if cfg.MaxBatch < 0 {
+		cfg.MaxBatch = 0
 	}
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = 256
 	}
-	a := &AsyncStore{st: st, max: cfg.MaxBatch, qs: make([]pipeShard, st.NumShards())}
-	for i := range a.qs {
-		a.qs[i].ring = newReqRing(cfg.RingSize)
-	}
+	a := &AsyncStore{st: st, fixed: cfg.MaxBatch, ringSize: cfg.RingSize}
 	a.pool.New = func() any { return &request{wake: make(chan struct{}, 1)} }
+	st.attachAsync(a)
 	return a
+}
+
+// attachAsync registers a as st's pipeline front end and threads a
+// pipeShard onto every live shard. splitMu serialises this against
+// splits, so every shard reachable from any map has a ring from here
+// on.
+func (s *Store) attachAsync(a *AsyncStore) {
+	s.splitMu.Lock()
+	defer s.splitMu.Unlock()
+	if !s.async.CompareAndSwap(nil, a) {
+		panic("shardedkv: Store already has an AsyncStore attached")
+	}
+	for _, sh := range s.smap.Load().shards {
+		a.attachShard(sh, nil)
+	}
+}
+
+// attachShard threads a fresh pipeShard onto sh. Called under splitMu
+// (from attachAsync, or from split before the children are published).
+// A split child inherits its parent's adaptive state — the hot shard's
+// grown bound and depth estimate carry over instead of re-learning
+// from cold, since the children split the same traffic.
+func (a *AsyncStore) attachShard(sh *shard, parent *pipeShard) {
+	q := &pipeShard{sh: sh, ring: newReqRing(a.ringSize), fixed: a.fixed}
+	q.bound.Store(adaptiveInitBatch)
+	if parent != nil {
+		q.bound.Store(parent.bound.Load())
+		q.hwRecent.Store(parent.hwRecent.Load())
+	}
+	sh.pipe.Store(q)
+	a.mu.Lock()
+	a.all = append(a.all, q)
+	a.mu.Unlock()
+}
+
+// pipes snapshots the all list.
+func (a *AsyncStore) pipes() []*pipeShard {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append(make([]*pipeShard, 0, len(a.all)), a.all...)
 }
 
 // Store returns the wrapped synchronous store (for Stats, Len, or
@@ -277,8 +455,19 @@ func (a *AsyncStore) newReq(kind opKind) *request {
 // reference is dropped here.
 func (a *AsyncStore) putReq(r *request) {
 	r.val, r.rval, r.rng, r.parts = nil, nil, nil, nil
-	r.rok = false
+	r.rok, r.ff = false, false
 	a.pool.Put(r)
+}
+
+// finish hands a just-executed request back: waited requests complete
+// their future (the owner recycles), fire-and-forget requests recycle
+// right here — nobody is coming back for them.
+func (a *AsyncStore) finish(r *request) {
+	if r.ff {
+		a.putReq(r)
+		return
+	}
+	r.complete()
 }
 
 func (a *AsyncStore) checkOpen() {
@@ -287,11 +476,16 @@ func (a *AsyncStore) checkOpen() {
 	}
 }
 
+// pipeOf returns the pipeShard owning key k under the current map.
+func (a *AsyncStore) pipeOf(k uint64) *pipeShard {
+	return a.st.smap.Load().locate(hashOf(k)).pipe.Load()
+}
+
 // exec runs one request against the shard's engine; the caller holds
-// the shard lock. The CSPad and the store's per-shard counters apply
-// exactly as on the synchronous path, with the pad keyed to the
-// EXECUTING worker's class: combining by a big core makes a little
-// core's op cheap, which is the point.
+// the shard lock and sh is live (not forwarded). The CSPad and the
+// store's per-shard counters apply exactly as on the synchronous path,
+// with the pad keyed to the EXECUTING worker's class: combining by a
+// big core makes a little core's op cheap, which is the point.
 func (a *AsyncStore) exec(w *core.Worker, sh *shard, r *request) {
 	switch r.kind {
 	case opGet:
@@ -311,91 +505,225 @@ func (a *AsyncStore) exec(w *core.Worker, sh *shard, r *request) {
 		// OWNER run its callback after release — a combiner must never
 		// execute user code while it holds the shard lock (the same
 		// collect-then-emit contract as Store.Range).
-		if br, ok := sh.eng.(batchRanger); ok && len(r.rng) > 1 {
-			br.BatchRange(r.rng, func(ri int, k uint64, v []byte) {
-				r.parts[ri] = append(r.parts[ri], KV{Key: k, Value: v})
-			})
-			a.st.pad(w)
-		} else {
-			for i, rr := range r.rng {
-				sh.eng.Range(rr.Lo, rr.Hi, func(k uint64, v []byte) bool {
-					r.parts[i] = append(r.parts[i], KV{Key: k, Value: v})
-					return true
-				})
-				a.st.pad(w)
-			}
-		}
-		sh.scans.Add(uint64(len(r.rng)))
+		a.st.collectShardRanges(w, sh, r.rng, r.parts)
 	}
 }
 
-// drain executes up to MaxBatch queued requests; the caller holds the
-// shard lock. Returns the number executed.
-func (a *AsyncStore) drain(w *core.Worker, si int) int {
-	sh := &a.st.shards[si]
-	q := &a.qs[si]
-	n := 0
-	for n < a.max {
+// execForwarded executes a request drained from a retired (split)
+// shard's ring: the request was routed before the split, so its data
+// now lives in the children. The caller holds the retired shard's
+// lock; descendant locks are taken ancestor→descendant, which splits
+// only ever extend, so the order is acyclic.
+func (a *AsyncStore) execForwarded(w *core.Worker, f *splitRecord, r *request) {
+	if r.kind == opRange {
+		a.execRangeMulti(w, []*shard{f.kids[0], f.kids[1]}, r)
+		return
+	}
+	h := hashOf(r.key)
+	sh := a.st.acquireLiveFrom(w, f.child(h), h)
+	a.exec(w, sh, r)
+	sh.lock.Release(w)
+}
+
+// execRangeMulti collects an opRange request across every live shard
+// reachable from work (descending through further splits) and merges
+// the per-engine slices so r.parts keeps its ascending-key contract.
+func (a *AsyncStore) execRangeMulti(w *core.Worker, work []*shard, r *request) {
+	var per [][][]KV // per visited live shard: parts per span
+	for len(work) > 0 {
+		sh := work[len(work)-1]
+		work = work[:len(work)-1]
+		sh.lock.Acquire(w)
+		if f := sh.forward.Load(); f != nil {
+			sh.lock.Release(w)
+			work = append(work, f.kids[0], f.kids[1])
+			continue
+		}
+		parts := make([][]KV, len(r.rng))
+		a.st.collectShardRanges(w, sh, r.rng, parts)
+		sh.lock.Release(w)
+		per = append(per, parts)
+	}
+	lists := make([][]KV, len(per))
+	for i := range r.rng {
+		for j, parts := range per {
+			lists[j] = parts[i]
+		}
+		r.parts[i] = mergeKV(lists)
+	}
+}
+
+// drain executes queued requests up to the drain bound; the caller
+// holds q's shard lock. On a retired ring every request forwards to
+// the live children. An adaptive combiner whose ring runs momentarily
+// dry on a hot shard lingers briefly for in-flight producers before
+// giving the lock up. Returns the number executed.
+func (a *AsyncStore) drain(w *core.Worker, q *pipeShard) int {
+	sh := q.sh
+	f := sh.forward.Load() // stable: forward only changes under this lock
+	bound := q.drainBound(w)
+	adaptive := q.fixed == 0
+	n, linger := 0, 0
+	var s pipeSpinner
+	for n < bound {
 		r := q.ring.dequeue()
 		if r == nil {
+			if adaptive && n > 0 && linger < lingerSpins && q.hwRecent.Load() >= lingerMinDepth {
+				linger++
+				s.spin()
+				continue
+			}
 			break
 		}
-		a.exec(w, sh, r)
-		r.complete()
+		if f == nil {
+			a.exec(w, sh, r)
+		} else {
+			a.execForwarded(w, f, r)
+		}
+		a.finish(r)
 		q.executed.Add(1)
 		n++
 	}
 	if n > 0 {
 		q.combined.Add(uint64(n))
 	}
+	if q.ring.Empty() && n < bound {
+		q.decayDepth()
+	}
+	if adaptive {
+		q.adapt(n, bound)
+	}
 	return n
 }
 
-// tryCombine runs ONE combiner election on shard si; a win drains at
-// most MaxBatch queued ops under a single lock take. Reports whether
-// it actually drained work — callers spin-wait on false, which also
-// covers the won-but-empty case (a producer stalled between its ring
-// claim and its publish). A failed TryAcquire means whoever holds the
-// lock is either a combiner (and is draining) or a sync-path user of
-// the shared lock (and will release soon) — the caller keeps waiting
-// on its own future either way. Bounding each call to one take keeps
-// a busy shard from turning its current combiner into a permanent
-// server: between batches the lock is released, FIFO entrants and
-// sync-path users get their turn, and the ex-combiner re-checks its
-// own future before volunteering again.
-func (a *AsyncStore) tryCombine(w *core.Worker, si int) bool {
-	sh := &a.st.shards[si]
-	q := &a.qs[si]
+// tryCombine runs ONE combiner election on q's shard; a win drains at
+// most the bound's worth of queued ops under a single lock take.
+// Reports whether it actually drained work — callers spin-wait on
+// false, which also covers the won-but-empty case (a producer stalled
+// between its ring claim and its publish). A failed TryAcquire means
+// whoever holds the lock is either a combiner (and is draining) or a
+// sync-path user of the shared lock (and will release soon) — the
+// caller keeps waiting on its own future either way. Bounding each
+// call to one take keeps a busy shard from turning its current
+// combiner into a permanent server: between batches the lock is
+// released, FIFO entrants and sync-path users get their turn, and the
+// ex-combiner re-checks its own future before volunteering again.
+func (a *AsyncStore) tryCombine(w *core.Worker, q *pipeShard) bool {
 	if q.ring.Empty() {
 		return false
 	}
-	if !sh.lock.TryAcquire(w) {
+	if !q.sh.electTry(w) {
 		return false
 	}
 	// Count the take only when it drains something: empty takes must
 	// not dilute the ops-per-lock-take metric.
-	n := a.drain(w, si)
+	n := a.drain(w, q)
 	if n > 0 {
 		q.noteTake(w)
 	}
-	sh.lock.Release(w)
+	q.sh.lock.Release(w)
 	return n > 0
 }
 
+// drainForSplit empties sh's ring inside the split rendezvous (the
+// splitter holds sh's lock). It runs twice per split: before the keys
+// move (forward unset — ops execute against sh's still-authoritative
+// engine) and again after the forward pointer is installed (requests
+// that slipped into the ring meanwhile execute against the live
+// children, still in FIFO order, before the map swap makes the
+// children reachable). Requests that land even later are driven by
+// their own submitters (see submit).
+func (a *AsyncStore) drainForSplit(w *core.Worker, sh *shard) {
+	q := sh.pipe.Load()
+	if q == nil {
+		return
+	}
+	f := sh.forward.Load()
+	// The post-forward pass must clear every request published before
+	// the forward store (those producers read forward == nil and rely
+	// on THIS drain). A producer's claim precedes its publish, so all
+	// of them sit below the tail read here — drain to that position,
+	// spinning through a slot whose producer is between claim and
+	// publish rather than treating it as empty (a later slot may
+	// already be published behind it, and breaking would strand it).
+	// Claims landing after this tail read observe the forward pointer
+	// post-publish and drive themselves (see submit).
+	target := q.ring.tailPos()
+	n := 0
+	var sp pipeSpinner
+	for {
+		r := q.ring.dequeue()
+		if r == nil {
+			if f != nil && q.ring.headPos() < target {
+				sp.spin()
+				continue
+			}
+			break
+		}
+		if f == nil {
+			a.exec(w, sh, r)
+		} else {
+			a.execForwarded(w, f, r)
+		}
+		a.finish(r)
+		q.executed.Add(1)
+		n++
+	}
+	if n > 0 {
+		q.combined.Add(uint64(n))
+		q.noteTake(w)
+	}
+}
+
 // execDirect is the ring-full fallback: execute r solo under a
-// blocking acquire, then drain whatever is queued — the ring was full
-// a moment ago, so there is combining work to amortise the take over.
-func (a *AsyncStore) execDirect(w *core.Worker, si int, r *request) {
-	sh := &a.st.shards[si]
-	q := &a.qs[si]
-	sh.lock.Acquire(w)
-	q.noteTake(w)
-	q.direct.Add(1)
+// blocking acquire of the LIVE shard (hopping split forwards like the
+// synchronous path), then drain whatever is queued there — the ring
+// was full a moment ago, so there is combining work to amortise the
+// take over.
+//
+// Before executing r, everything enqueued on q before the failed ring
+// claim is driven to execution. Without this, the direct path could
+// overtake the SAME worker's still-queued fire-and-forget predecessor
+// on this ring and break its program order (same-key ops always
+// resolve to the same ring, split forwarding included, so this local
+// guard is the whole FIFO story).
+func (a *AsyncStore) execDirect(w *core.Worker, q *pipeShard, r *request) {
+	target := q.ring.tailPos()
+	var sp pipeSpinner
+	for q.executed.Load() < target {
+		if !a.tryCombine(w, q) {
+			sp.spin()
+		}
+	}
+	sh := q.sh
+	for {
+		sh.lock.Acquire(w)
+		f := sh.forward.Load()
+		if f == nil {
+			break
+		}
+		sh.lock.Release(w)
+		if r.kind == opRange {
+			// The shard's span coverage split under us: collect across
+			// the live descendants instead of hopping (a range belongs
+			// to the whole subtree, not one child).
+			a.execRangeMulti(w, []*shard{f.kids[0], f.kids[1]}, r)
+			q.noteTake(w)
+			q.direct.Add(1)
+			q.combined.Add(1)
+			a.finish(r)
+			return
+		}
+		sh = f.child(hashOf(r.key))
+	}
+	lq := sh.pipe.Load()
+	lq.noteTake(w)
+	lq.direct.Add(1)
 	a.exec(w, sh, r)
-	q.combined.Add(1)
-	a.drain(w, si)
+	lq.combined.Add(1)
+	a.drain(w, lq)
 	sh.lock.Release(w)
-	r.complete()
+	a.finish(r)
 }
 
 // await drives the waiting side of one enqueued request: spin, attempt
@@ -403,7 +731,7 @@ func (a *AsyncStore) execDirect(w *core.Worker, si int, r *request) {
 // out. Parks are timed, so even a worst-case interleaving (combiner
 // released just before we parked, nobody else awake) only costs one
 // park slice, not liveness.
-func (a *AsyncStore) await(w *core.Worker, si int, r *request) {
+func (a *AsyncStore) await(w *core.Worker, q *pipeShard, r *request) {
 	big := w.Class() == core.Big
 	elect, parkAfter := littleElect, littleParkAfter
 	if big {
@@ -423,7 +751,7 @@ func (a *AsyncStore) await(w *core.Worker, si int, r *request) {
 		// cadence, giving any big-core waiter the win before serving
 		// themselves.
 		if pass%elect == elect-1 {
-			if a.tryCombine(w, si) && r.isDone() {
+			if a.tryCombine(w, q) && r.isDone() {
 				return
 			}
 		}
@@ -440,22 +768,41 @@ func (a *AsyncStore) await(w *core.Worker, si int, r *request) {
 	}
 }
 
-// submit enqueues r on shard si (or executes it directly when the ring
-// is full) without waiting for completion.
-func (a *AsyncStore) submit(w *core.Worker, si int, r *request) {
-	q := &a.qs[si]
+// submit enqueues r on q (or executes it directly when the ring is
+// full) without waiting for completion — except onto a ring whose
+// shard split under us: then submit drives the retired ring dry
+// before returning, so r (and everything queued before it) has
+// executed and no later op of this worker can overtake it via the
+// children's fresh rings. The check is a post-publish re-read of the
+// forward pointer: if it reads nil here, the enqueue is ordered
+// before the split's own final drain (seq-cst), which will execute r;
+// if it reads non-nil, this worker drains. Either way program order
+// per worker survives resharding — the property PutAsync's FIFO
+// contract leans on. After the drive loop r may already be recycled
+// (fire-and-forget requests are freed by whoever executes them), so
+// r is not touched again.
+func (a *AsyncStore) submit(w *core.Worker, q *pipeShard, r *request) {
 	if !q.ring.enqueue(r) {
-		a.execDirect(w, si, r)
+		a.execDirect(w, q, r)
 		return
 	}
 	q.noteDepth()
+	if q.sh.forward.Load() == nil {
+		return
+	}
+	var s pipeSpinner
+	for !q.ring.Empty() || q.executed.Load() < q.ring.headPos() {
+		if !a.tryCombine(w, q) {
+			s.spin()
+		}
+	}
 }
 
-// run submits r on shard si and waits for it.
-func (a *AsyncStore) run(w *core.Worker, si int, r *request) {
-	a.submit(w, si, r)
+// run submits r on q and waits for it.
+func (a *AsyncStore) run(w *core.Worker, q *pipeShard, r *request) {
+	a.submit(w, q, r)
 	if !r.isDone() {
-		a.await(w, si, r)
+		a.await(w, q, r)
 	}
 }
 
@@ -464,7 +811,7 @@ func (a *AsyncStore) Get(w *core.Worker, k uint64) ([]byte, bool) {
 	a.checkOpen()
 	r := a.newReq(opGet)
 	r.key = k
-	a.run(w, a.st.ShardOf(k), r)
+	a.run(w, a.pipeOf(k), r)
 	v, ok := r.rval, r.rok
 	a.putReq(r)
 	return v, ok
@@ -476,7 +823,7 @@ func (a *AsyncStore) Put(w *core.Worker, k uint64, v []byte) bool {
 	a.checkOpen()
 	r := a.newReq(opPut)
 	r.key, r.val = k, v
-	a.run(w, a.st.ShardOf(k), r)
+	a.run(w, a.pipeOf(k), r)
 	ok := r.rok
 	a.putReq(r)
 	return ok
@@ -487,10 +834,38 @@ func (a *AsyncStore) Delete(w *core.Worker, k uint64) bool {
 	a.checkOpen()
 	r := a.newReq(opDelete)
 	r.key = k
-	a.run(w, a.st.ShardOf(k), r)
+	a.run(w, a.pipeOf(k), r)
 	ok := r.rok
 	a.putReq(r)
 	return ok
+}
+
+// PutAsync stores k=v fire-and-forget: the request is submitted and
+// the call returns without waiting for execution. The future recycles
+// the moment a combiner executes it, so sustained writers pay zero
+// wait and zero completion traffic; ordering with this worker's later
+// ops on the same key is preserved in every path — the ring is FIFO,
+// the ring-overflow fallback drives queued predecessors first, and a
+// shard split drains its ring before the children become reachable —
+// so a worker always reads its own async write. v is retained by
+// reference until execution — do not reuse the buffer. Flush (or
+// Close) is the write barrier: after it returns, every PutAsync
+// submitted before it is applied.
+func (a *AsyncStore) PutAsync(w *core.Worker, k uint64, v []byte) {
+	a.checkOpen()
+	r := a.newReq(opPut)
+	r.ff = true
+	r.key, r.val = k, v
+	a.submit(w, a.pipeOf(k), r)
+}
+
+// DeleteAsync removes k fire-and-forget, with PutAsync's semantics.
+func (a *AsyncStore) DeleteAsync(w *core.Worker, k uint64) {
+	a.checkOpen()
+	r := a.newReq(opDelete)
+	r.ff = true
+	r.key = k
+	a.submit(w, a.pipeOf(k), r)
 }
 
 // MultiGet reads all keys through the pipeline: every request is
@@ -502,15 +877,17 @@ func (a *AsyncStore) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok 
 	vals = make([][]byte, len(keys))
 	ok = make([]bool, len(keys))
 	reqs := make([]*request, len(keys))
+	qs := make([]*pipeShard, len(keys))
 	for i, k := range keys {
 		r := a.newReq(opGet)
 		r.key = k
 		reqs[i] = r
-		a.submit(w, a.st.ShardOf(k), r)
+		qs[i] = a.pipeOf(k)
+		a.submit(w, qs[i], r)
 	}
 	for i, r := range reqs {
 		if !r.isDone() {
-			a.await(w, a.st.ShardOf(keys[i]), r)
+			a.await(w, qs[i], r)
 		}
 		vals[i], ok[i] = r.rval, r.rok
 		a.putReq(r)
@@ -526,15 +903,17 @@ func (a *AsyncStore) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok 
 func (a *AsyncStore) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
 	a.checkOpen()
 	reqs := make([]*request, len(kvs))
+	qs := make([]*pipeShard, len(kvs))
 	for i, kv := range kvs {
 		r := a.newReq(opPut)
 		r.key, r.val = kv.Key, kv.Value
 		reqs[i] = r
-		a.submit(w, a.st.ShardOf(kv.Key), r)
+		qs[i] = a.pipeOf(kv.Key)
+		a.submit(w, qs[i], r)
 	}
 	for i, r := range reqs {
 		if !r.isDone() {
-			a.await(w, a.st.ShardOf(kvs[i].Key), r)
+			a.await(w, qs[i], r)
 		}
 		if r.rok {
 			inserted++
@@ -544,28 +923,33 @@ func (a *AsyncStore) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
 	return inserted
 }
 
-// collectRanges pushes one opRange request per shard (each carrying
-// the whole span set), awaits them all, and merges the per-shard
-// slices per request. out[i] is reqs[i]'s result in ascending key
-// order. The view matches Store.MultiRange: per-shard consistent, all
-// spans seeing each shard at the same instant.
+// collectRanges pushes one opRange request per live shard (each
+// carrying the whole span set), awaits them all, and merges the
+// per-shard slices per request. out[i] is reqs[i]'s result in
+// ascending key order. The view matches Store.MultiRange: per-shard
+// consistent, all spans seeing each shard at the same instant. A shard
+// that splits mid-flight serves its request from the live children
+// (see execForwarded), so the union still covers the key space exactly
+// once.
 func (a *AsyncStore) collectRanges(w *core.Worker, reqs []RangeReq) [][]KV {
-	nsh := len(a.qs)
-	rs := make([]*request, nsh)
-	for si := 0; si < nsh; si++ {
+	m := a.st.smap.Load()
+	rs := make([]*request, len(m.shards))
+	qs := make([]*pipeShard, len(m.shards))
+	for si, sh := range m.shards {
 		r := a.newReq(opRange)
 		r.rng = reqs
 		r.parts = make([][]KV, len(reqs))
 		rs[si] = r
-		a.submit(w, si, r)
+		qs[si] = sh.pipe.Load()
+		a.submit(w, qs[si], r)
 	}
 	parts := make([][][]KV, len(reqs)) // parts[request][shard]
 	for ri := range parts {
-		parts[ri] = make([][]KV, nsh)
+		parts[ri] = make([][]KV, len(rs))
 	}
 	for si, r := range rs {
 		if !r.isDone() {
-			a.await(w, si, r)
+			a.await(w, qs[si], r)
 		}
 		for ri := range reqs {
 			parts[ri][si] = r.parts[ri]
@@ -605,19 +989,20 @@ func (a *AsyncStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
 }
 
 // Flush blocks until every request enqueued before the call has
-// executed, combining on the caller's worker where it can. Concurrent
-// enqueuers may extend the drain (their requests slot in behind the
-// cut-off), but the pre-Flush prefix is guaranteed done on return.
+// executed, combining on the caller's worker where it can. This is the
+// PutAsync/DeleteAsync write barrier. Concurrent enqueuers may extend
+// the drain (their requests slot in behind the cut-off), but the
+// pre-Flush prefix is guaranteed done on return — rings retired by
+// splits included, since the walk covers every ring ever attached.
 func (a *AsyncStore) Flush(w *core.Worker) {
-	for si := range a.qs {
-		q := &a.qs[si]
+	for _, q := range a.pipes() {
 		target := q.ring.tailPos()
 		var s pipeSpinner
 		// Wait on the executed cursor, not the ring head: a request a
 		// concurrent combiner has dequeued but not yet run is not
 		// flushed.
 		for q.executed.Load() < target {
-			if !a.tryCombine(w, si) {
+			if !a.tryCombine(w, q) {
 				s.spin()
 			}
 		}
@@ -627,42 +1012,45 @@ func (a *AsyncStore) Flush(w *core.Worker) {
 // Close flushes the rings and marks the pipeline closed: subsequent
 // pipeline calls panic. Callers must have quiesced (a submitter racing
 // Close keeps its own liveness — owners always self-serve — but its op
-// may execute after Close returns). The underlying Store stays usable.
+// may execute after Close returns). The underlying Store stays usable,
+// resharding included (splits after Close attach rings that simply
+// stay empty).
 func (a *AsyncStore) Close(w *core.Worker) {
 	if a.closed.Swap(true) {
 		return
 	}
-	for si := range a.qs {
-		q := &a.qs[si]
-		var s pipeSpinner
-		for !q.ring.Empty() || q.executed.Load() < q.ring.headPos() {
-			if !a.tryCombine(w, si) {
-				s.spin()
+	for {
+		qs := a.pipes()
+		for _, q := range qs {
+			var s pipeSpinner
+			for !q.ring.Empty() || q.executed.Load() < q.ring.headPos() {
+				if !a.tryCombine(w, q) {
+					s.spin()
+				}
 			}
+		}
+		// A split during the drain may have attached fresh rings;
+		// sweep again until the set is stable.
+		if len(a.pipes()) == len(qs) {
+			return
 		}
 	}
 }
 
-// CombineStats snapshots every shard's combining counters.
+// CombineStats snapshots every ring's combining counters in attach
+// order: the seed shards first, then split children as they were
+// created (rings retired by splits keep their history here).
 func (a *AsyncStore) CombineStats() []CombineStats {
-	out := make([]CombineStats, len(a.qs))
-	for i := range a.qs {
-		q := &a.qs[i]
-		out[i] = CombineStats{
-			LockTakes:   q.lockTakes.Load(),
-			Combined:    q.combined.Load(),
-			Direct:      q.direct.Load(),
-			Handoffs:    q.handoffs.Load(),
-			DepthHW:     q.depthHW.Load(),
-			BigTakes:    q.takesBy[core.Big].Load(),
-			LittleTakes: q.takesBy[core.Little].Load(),
-		}
+	qs := a.pipes()
+	out := make([]CombineStats, len(qs))
+	for i, q := range qs {
+		out[i] = q.stats()
 	}
 	return out
 }
 
-// AggregateCombineStats sums CombineStats across shards (DepthHW takes
-// the max).
+// AggregateCombineStats sums CombineStats across shards (DepthHW and
+// MaxBatchEff take the max).
 func (a *AsyncStore) AggregateCombineStats() CombineStats {
 	var agg CombineStats
 	for _, c := range a.CombineStats() {
@@ -673,6 +1061,9 @@ func (a *AsyncStore) AggregateCombineStats() CombineStats {
 		if c.DepthHW > agg.DepthHW {
 			agg.DepthHW = c.DepthHW
 		}
+		if c.MaxBatchEff > agg.MaxBatchEff {
+			agg.MaxBatchEff = c.MaxBatchEff
+		}
 		agg.BigTakes += c.BigTakes
 		agg.LittleTakes += c.LittleTakes
 	}
@@ -681,6 +1072,10 @@ func (a *AsyncStore) AggregateCombineStats() CombineStats {
 
 // String summarises the pipeline layout.
 func (a *AsyncStore) String() string {
-	return fmt.Sprintf("shardedkv.AsyncStore{shards: %d, maxBatch: %d, ring: %d}",
-		len(a.qs), a.max, a.qs[0].ring.Cap())
+	batch := "adaptive"
+	if a.fixed > 0 {
+		batch = fmt.Sprint(a.fixed)
+	}
+	return fmt.Sprintf("shardedkv.AsyncStore{rings: %d, maxBatch: %s, ringSize: %d}",
+		len(a.pipes()), batch, a.ringSize)
 }

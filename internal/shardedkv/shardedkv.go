@@ -4,9 +4,10 @@
 //
 // Layering (top to bottom):
 //
-//	Store            — key → shard routing, batched MultiGet/MultiPut,
-//	                   ordered Range/MultiRange scans merged across
-//	                   shards
+//	Store            — key → shard routing through a copy-on-write
+//	                   shard map, batched MultiGet/MultiPut, ordered
+//	                   Range/MultiRange scans merged across shards,
+//	                   skew-adaptive shard splitting (reshard.go)
 //	locks.WLock      — one lock per shard; ASLMutex by default, so
 //	                   big-core workers take the FIFO fast path and
 //	                   little-core workers stand by within their
@@ -22,6 +23,14 @@
 // algorithm targets, and admission decisions stay local to the shard
 // (compare "Fissile Locks" and Dice & Kogan's concurrency-restriction
 // argument for keeping such decisions cheap and per-lock).
+//
+// Placement is no longer a fixed modulo: lookups go through an
+// immutable shard-map snapshot (shardmap.go) swapped atomically when a
+// skew detector (reshard.go) splits a shard whose measured traffic
+// share and lock-wait fraction say the zipf head has made it a convoy.
+// Snapshot readers re-validate after acquiring the shard lock: a split
+// parent forwards to its children, so a stale snapshot costs one extra
+// lock hop, never a wrong answer.
 //
 // Batched operations sort keys by shard so each shard lock is taken at
 // most once per batch, turning k point-lookups into one acquisition
@@ -51,11 +60,11 @@ package shardedkv
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/locks"
-	"repro/internal/prng"
 )
 
 // Engine is the per-shard storage interface. Implementations are NOT
@@ -92,7 +101,8 @@ type Config struct {
 	// Shards is the shard count; 0 means 16.
 	Shards int
 	// NewEngine builds shard i's storage engine; nil means hash-table
-	// engines (NewHashEngine).
+	// engines (NewHashEngine). Split children call it with fresh ids
+	// past the initial count.
 	NewEngine func(shard int) Engine
 	// NewLock builds one shard lock; nil means the paper's default
 	// ASL stack (locks.FactoryASL). Use locks.Factory wrappers to
@@ -104,6 +114,15 @@ type Config struct {
 	// a little-core holder keeps the lock proportionally longer (see
 	// DESIGN.md substitutions). Leave nil in production use.
 	CSPad func(w *core.Worker)
+	// Reshard, if non-nil, enables dynamic resharding: shard locks are
+	// wrapped with contention counters and a skew detector splits
+	// sustained hot shards (see reshard.go). Nil keeps the static seed
+	// behaviour bit for bit.
+	Reshard *ReshardConfig
+	// TrackContention wraps shard locks with locks.Contended counters
+	// (populating ShardStats.LockAttempts/LockContended) without
+	// enabling resharding. Implied by Reshard.
+	TrackContention bool
 }
 
 // ShardStats is a snapshot of one shard's operation counters.
@@ -117,16 +136,38 @@ type ShardStats struct {
 	// BatchLocks counts lock acquisitions made on behalf of batched
 	// operations: one per (batch, touched shard), not one per key.
 	BatchLocks uint64
+	// LockAttempts and LockContended mirror the shard lock's
+	// locks.ContentionStats — every acquire/try attempt, and the
+	// subset that found the lock held. Zero unless the store wraps
+	// its locks (Reshard or TrackContention); the skew detector reads
+	// the contended fraction to tell a convoy from mere traffic.
+	LockAttempts, LockContended uint64
 }
 
 // Ops returns the total point-operation count (scans excluded).
 func (s ShardStats) Ops() uint64 { return s.Gets + s.Puts + s.Deletes }
 
-// shard is one lock+engine pair. The trailing pad keeps adjacent
-// shards' hot counters off each other's cache lines.
+// shard is one lock+engine pair plus its place in the shard map. The
+// trailing pad keeps adjacent shards' hot counters off each other's
+// cache lines.
 type shard struct {
-	lock    locks.WLock
-	eng     Engine
+	lock locks.WLock
+	eng  Engine
+	// cont is the lock's contention counter when the store wraps its
+	// locks; nil otherwise.
+	cont *locks.Contended
+	// id is the shard's creation ordinal: stable across map swaps,
+	// ascending in Stats order. group/depth place the shard in the
+	// map's extendible directory (shardmap.go).
+	id    int
+	group int
+	depth uint
+	// forward, once set (under lock, by split), says this shard's keys
+	// moved to two children; it never reverts to nil.
+	forward atomic.Pointer[splitRecord]
+	// pipe is the shard's combining-pipeline state when an AsyncStore
+	// is attached (pipeline.go); nil otherwise.
+	pipe    atomic.Pointer[pipeShard]
 	gets    atomic.Uint64
 	puts    atomic.Uint64
 	deletes atomic.Uint64
@@ -135,10 +176,74 @@ type shard struct {
 	_       [64]byte
 }
 
+// electTry is the combiner-election TryAcquire: on a
+// contention-wrapped lock it probes the inner lock directly, because
+// election probes fail BY DESIGN whenever another combiner is serving
+// the ring — counting them would saturate the skew detector's wait
+// signal and make every pipelined shard look convoyed. Real waits
+// (blocking acquires, ring-full fallbacks) stay counted.
+func (sh *shard) electTry(w *core.Worker) bool {
+	if sh.cont != nil {
+		return sh.cont.Inner().TryAcquire(w)
+	}
+	return sh.lock.TryAcquire(w)
+}
+
+// stats snapshots this shard's counters.
+func (sh *shard) stats() ShardStats {
+	st := ShardStats{
+		Gets:       sh.gets.Load(),
+		Puts:       sh.puts.Load(),
+		Deletes:    sh.deletes.Load(),
+		Scans:      sh.scans.Load(),
+		BatchLocks: sh.batches.Load(),
+	}
+	if sh.cont != nil {
+		cs := sh.cont.Stats()
+		st.LockAttempts, st.LockContended = cs.Attempts, cs.Contended
+	}
+	return st
+}
+
 // Store is the sharded KV service layer.
 type Store struct {
-	shards []shard
-	csPad  func(w *core.Worker)
+	smap  atomic.Pointer[shardMap]
+	csPad func(w *core.Worker)
+
+	// Split machinery (shardmap.go / reshard.go). newLock/newEngine
+	// build children; splitMu serialises splits, map swaps, and
+	// AsyncStore attachment; retired accumulates counters of shards
+	// that split away so aggregates never lose history.
+	newLock   locks.Factory
+	newEngine func(shard int) Engine
+	contend   bool
+	maxShards int
+	splitMu   sync.Mutex
+	nextID    int
+	splits    atomic.Uint64
+	events    atomic.Uint64
+	async     atomic.Pointer[AsyncStore]
+	retired   retiredStats
+	detector  *reshardDetector
+}
+
+// retiredStats accumulates the counters of split-away shards.
+type retiredStats struct {
+	gets, puts, deletes, scans, batches atomic.Uint64
+	lockAttempts, lockContended         atomic.Uint64
+}
+
+// foldRetired folds a split parent's counters into the retired
+// accumulator (caller holds splitMu and the shard's lock).
+func (s *Store) foldRetired(sh *shard) {
+	st := sh.stats()
+	s.retired.gets.Add(st.Gets)
+	s.retired.puts.Add(st.Puts)
+	s.retired.deletes.Add(st.Deletes)
+	s.retired.scans.Add(st.Scans)
+	s.retired.batches.Add(st.BatchLocks)
+	s.retired.lockAttempts.Add(st.LockAttempts)
+	s.retired.lockContended.Add(st.LockContended)
 }
 
 // New builds a store from cfg.
@@ -152,32 +257,42 @@ func New(cfg Config) *Store {
 	if cfg.NewLock == nil {
 		cfg.NewLock = locks.FactoryASL()
 	}
-	s := &Store{shards: make([]shard, cfg.Shards), csPad: cfg.CSPad}
-	for i := range s.shards {
-		s.shards[i].lock = cfg.NewLock()
-		s.shards[i].eng = cfg.NewEngine(i)
+	s := &Store{
+		csPad:     cfg.CSPad,
+		newLock:   cfg.NewLock,
+		newEngine: cfg.NewEngine,
+		contend:   cfg.Reshard != nil || cfg.TrackContention,
+	}
+	m := &shardMap{groups: make([][]*shard, cfg.Shards), shards: make([]*shard, cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := s.newShard(i, i, 0)
+		m.groups[i] = []*shard{sh}
+		m.shards[i] = sh
+	}
+	s.nextID = cfg.Shards
+	s.smap.Store(m)
+	if cfg.Reshard != nil {
+		s.startReshard(*cfg.Reshard)
 	}
 	return s
 }
 
-// NumShards returns the shard count.
-func (s *Store) NumShards() int { return len(s.shards) }
+// NumShards returns the current live shard count (grows with splits).
+func (s *Store) NumShards() int { return len(s.smap.Load().shards) }
 
-// ShardOf maps a key to its shard index (splitmix64's finalizer, so
-// adjacent keys spread across shards).
+// MapEpoch returns the shard map's generation: 0 at creation, +1 per
+// split. Callers comparing epochs across two reads can tell whether
+// placement moved between them.
+func (s *Store) MapEpoch() uint64 { return s.smap.Load().epoch }
+
+// ShardOf maps a key to its shard's stable id under the current map
+// (splitmix64's finalizer, so adjacent keys spread across shards). On
+// a store that has never split, ids coincide with the seed's 0..N-1
+// indices; after splits, ids identify shards across map epochs but a
+// concurrent split may retire the returned id before the caller uses
+// it — treat it as a routing hint, not a handle.
 func (s *Store) ShardOf(k uint64) int {
-	return int(prng.Mix64(k) % uint64(len(s.shards)))
-}
-
-// Get reads k on behalf of worker w.
-func (s *Store) Get(w *core.Worker, k uint64) ([]byte, bool) {
-	sh := &s.shards[s.ShardOf(k)]
-	sh.lock.Acquire(w)
-	v, ok := sh.eng.Get(k)
-	s.pad(w)
-	sh.lock.Release(w)
-	sh.gets.Add(1)
-	return v, ok
+	return s.smap.Load().locate(hashOf(k)).id
 }
 
 // pad runs the configured critical-section padding, if any.
@@ -187,10 +302,19 @@ func (s *Store) pad(w *core.Worker) {
 	}
 }
 
+// Get reads k on behalf of worker w.
+func (s *Store) Get(w *core.Worker, k uint64) ([]byte, bool) {
+	sh := s.acquireLive(w, hashOf(k))
+	v, ok := sh.eng.Get(k)
+	s.pad(w)
+	sh.lock.Release(w)
+	sh.gets.Add(1)
+	return v, ok
+}
+
 // Put stores k=v on behalf of worker w; reports insert-vs-replace.
 func (s *Store) Put(w *core.Worker, k uint64, v []byte) bool {
-	sh := &s.shards[s.ShardOf(k)]
-	sh.lock.Acquire(w)
+	sh := s.acquireLive(w, hashOf(k))
 	inserted := sh.eng.Put(k, v)
 	s.pad(w)
 	sh.lock.Release(w)
@@ -200,8 +324,7 @@ func (s *Store) Put(w *core.Worker, k uint64, v []byte) bool {
 
 // Delete removes k on behalf of worker w; reports presence.
 func (s *Store) Delete(w *core.Worker, k uint64) bool {
-	sh := &s.shards[s.ShardOf(k)]
-	sh.lock.Acquire(w)
+	sh := s.acquireLive(w, hashOf(k))
 	present := sh.eng.Delete(k)
 	s.pad(w)
 	sh.lock.Release(w)
@@ -213,12 +336,7 @@ func (s *Store) Delete(w *core.Worker, k uint64) bool {
 // (the answer is a consistent per-shard sum, like Kyoto's count).
 func (s *Store) Len(w *core.Worker) int {
 	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.lock.Acquire(w)
-		n += sh.eng.Len()
-		sh.lock.Release(w)
-	}
+	s.forEachLive(w, func(sh *shard) { n += sh.eng.Len() })
 	return n
 }
 
@@ -232,18 +350,19 @@ func (s *Store) Len(w *core.Worker) int {
 // scans. fn returning false stops the emission (the collection cost is
 // already paid).
 func (s *Store) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool) {
-	lists := make([][]KV, len(s.shards))
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.lock.Acquire(w)
+	var lists [][]KV
+	s.forEachLive(w, func(sh *shard) {
+		var l []KV
 		sh.eng.Range(lo, hi, func(k uint64, v []byte) bool {
-			lists[i] = append(lists[i], KV{Key: k, Value: v})
+			l = append(l, KV{Key: k, Value: v})
 			return true
 		})
 		s.pad(w)
-		sh.lock.Release(w)
 		sh.scans.Add(1)
-	}
+		if len(l) > 0 {
+			lists = append(lists, l)
+		}
+	})
 	for _, kv := range mergeKV(lists) {
 		if !fn(kv.Key, kv.Value) {
 			return
@@ -263,6 +382,37 @@ type batchRanger interface {
 	BatchRange(reqs []RangeReq, emit func(req int, k uint64, v []byte))
 }
 
+// unorderedScanner is an optional Engine extension: a full walk with
+// no ordering guarantee, cheaper than Range(0, ^0) on engines that
+// sort (the hash table). Split partitioning prefers it.
+type unorderedScanner interface {
+	Scan(fn func(k uint64, v []byte) bool)
+}
+
+// collectShardRanges collects every request's slice of one shard's
+// engine into parts (parts[i] extends with request i's in-range pairs,
+// in ascending key order). Caller holds the shard lock; one pad per
+// engine walk, exactly as the point ops pay one pad per operation.
+func (s *Store) collectShardRanges(w *core.Worker, sh *shard, reqs []RangeReq, parts [][]KV) {
+	if br, ok := sh.eng.(batchRanger); ok {
+		// One engine walk serves the whole batch: one pad, one
+		// engine operation.
+		br.BatchRange(reqs, func(ri int, k uint64, v []byte) {
+			parts[ri] = append(parts[ri], KV{Key: k, Value: v})
+		})
+		s.pad(w)
+	} else {
+		for ri, r := range reqs {
+			sh.eng.Range(r.Lo, r.Hi, func(k uint64, v []byte) bool {
+				parts[ri] = append(parts[ri], KV{Key: k, Value: v})
+				return true
+			})
+			s.pad(w)
+		}
+	}
+	sh.scans.Add(uint64(len(reqs)))
+}
+
 // MultiRange executes all range requests in one pass over the shards,
 // grouped by shard like MultiGet: each shard's lock is taken exactly
 // once, and while it is held every request collects that shard's slice
@@ -275,35 +425,19 @@ func (s *Store) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
 	if len(reqs) == 0 {
 		return out
 	}
-	parts := make([][][]KV, len(reqs)) // parts[request][shard]
-	for i := range parts {
-		parts[i] = make([][]KV, len(s.shards))
-	}
-	for si := range s.shards {
-		sh := &s.shards[si]
-		sh.lock.Acquire(w)
-		if br, ok := sh.eng.(batchRanger); ok {
-			// One engine walk serves the whole batch: one pad, one
-			// engine operation.
-			br.BatchRange(reqs, func(ri int, k uint64, v []byte) {
-				parts[ri][si] = append(parts[ri][si], KV{Key: k, Value: v})
-			})
-			s.pad(w)
-		} else {
-			for ri, r := range reqs {
-				sh.eng.Range(r.Lo, r.Hi, func(k uint64, v []byte) bool {
-					parts[ri][si] = append(parts[ri][si], KV{Key: k, Value: v})
-					return true
-				})
-				s.pad(w)
-			}
-		}
-		sh.lock.Release(w)
-		sh.scans.Add(uint64(len(reqs)))
+	var perShard [][][]KV // per visited shard: parts per request
+	s.forEachLive(w, func(sh *shard) {
+		parts := make([][]KV, len(reqs))
+		s.collectShardRanges(w, sh, reqs, parts)
 		sh.batches.Add(1)
-	}
+		perShard = append(perShard, parts)
+	})
+	lists := make([][]KV, len(perShard))
 	for ri := range reqs {
-		out[ri] = mergeKV(parts[ri])
+		for si, parts := range perShard {
+			lists[si] = parts[ri]
+		}
+		out[ri] = mergeKV(lists)
 	}
 	return out
 }
@@ -334,27 +468,61 @@ func mergeKV(lists [][]KV) []KV {
 	return out
 }
 
-// byShard groups batch indices by shard: order[g][j] is an index into
-// the caller's batch slice. Groups are visited in ascending shard
-// order; within a group, batch order is preserved (so later puts of a
-// duplicate key win, matching sequential semantics).
-func (s *Store) byShard(n int, shardOf func(i int) int) [][]int {
-	counts := make([]int, len(s.shards))
-	home := make([]int, n)
-	for i := 0; i < n; i++ {
-		home[i] = shardOf(i)
-		counts[home[i]]++
+// idxGroup is one batched-op work unit: the batch indices routed to
+// one shard. Groups re-split along the forward chain when the shard
+// moved (see execGrouped).
+type idxGroup struct {
+	sh  *shard
+	idx []int
+}
+
+// execGrouped routes batch indices to shards under the current map
+// snapshot and runs exec once per touched live shard with its lock
+// held. A group whose shard split re-partitions along the forward
+// record's hash bit and requeues on the children, so every index
+// executes on the engine that owns its key — the batched analogue of
+// acquireLive's hop. Groups are visited in ascending shard-id order
+// (children after their parents); within a group, batch order is
+// preserved, so later puts of a duplicate key win as in sequential
+// semantics.
+func (s *Store) execGrouped(w *core.Worker, n int, hash func(i int) uint64, exec func(sh *shard, idx []int)) {
+	if n == 0 {
+		return
 	}
-	groups := make([][]int, len(s.shards))
-	for sh, c := range counts {
-		if c > 0 {
-			groups[sh] = make([]int, 0, c)
+	m := s.smap.Load()
+	hs := make([]uint64, n)
+	byShard := make(map[*shard][]int, 8)
+	for i := 0; i < n; i++ {
+		hs[i] = hash(i)
+		sh := m.locate(hs[i])
+		byShard[sh] = append(byShard[sh], i)
+	}
+	work := make([]idxGroup, 0, len(byShard))
+	for _, sh := range m.shards {
+		if idx, ok := byShard[sh]; ok {
+			work = append(work, idxGroup{sh: sh, idx: idx})
 		}
 	}
-	for i := 0; i < n; i++ {
-		groups[home[i]] = append(groups[home[i]], i)
+	for len(work) > 0 {
+		g := work[0]
+		work = work[1:]
+		g.sh.lock.Acquire(w)
+		if f := g.sh.forward.Load(); f != nil {
+			g.sh.lock.Release(w)
+			var kidIdx [2][]int
+			for _, i := range g.idx {
+				kidIdx[(subIdx(hs[i])>>f.bit)&1] = append(kidIdx[(subIdx(hs[i])>>f.bit)&1], i)
+			}
+			for b, idx := range kidIdx {
+				if len(idx) > 0 {
+					work = append(work, idxGroup{sh: f.kids[b], idx: idx})
+				}
+			}
+			continue
+		}
+		exec(g.sh, g.idx)
+		g.sh.lock.Release(w)
 	}
-	return groups
 }
 
 // MultiGet reads all keys in one pass, taking each touched shard's
@@ -362,21 +530,14 @@ func (s *Store) byShard(n int, shardOf func(i int) int) [][]int {
 func (s *Store) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok []bool) {
 	vals = make([][]byte, len(keys))
 	ok = make([]bool, len(keys))
-	groups := s.byShard(len(keys), func(i int) int { return s.ShardOf(keys[i]) })
-	for shIdx, g := range groups {
-		if len(g) == 0 {
-			continue
-		}
-		sh := &s.shards[shIdx]
-		sh.lock.Acquire(w)
-		for _, i := range g {
+	s.execGrouped(w, len(keys), func(i int) uint64 { return hashOf(keys[i]) }, func(sh *shard, idx []int) {
+		for _, i := range idx {
 			vals[i], ok[i] = sh.eng.Get(keys[i])
 			s.pad(w)
 		}
-		sh.lock.Release(w)
-		sh.gets.Add(uint64(len(g)))
+		sh.gets.Add(uint64(len(idx)))
 		sh.batches.Add(1)
-	}
+	})
 	return vals, ok
 }
 
@@ -384,58 +545,67 @@ func (s *Store) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok []boo
 // lock exactly once. Returns the number of newly inserted keys.
 // Duplicate keys within the batch apply in batch order (last wins).
 func (s *Store) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
-	groups := s.byShard(len(kvs), func(i int) int { return s.ShardOf(kvs[i].Key) })
-	for shIdx, g := range groups {
-		if len(g) == 0 {
-			continue
-		}
-		sh := &s.shards[shIdx]
-		sh.lock.Acquire(w)
-		for _, i := range g {
+	s.execGrouped(w, len(kvs), func(i int) uint64 { return hashOf(kvs[i].Key) }, func(sh *shard, idx []int) {
+		for _, i := range idx {
 			if sh.eng.Put(kvs[i].Key, kvs[i].Value) {
 				inserted++
 			}
 			s.pad(w)
 		}
-		sh.lock.Release(w)
-		sh.puts.Add(uint64(len(g)))
+		sh.puts.Add(uint64(len(idx)))
 		sh.batches.Add(1)
-	}
+	})
 	return inserted
 }
 
-// Stats snapshots every shard's counters. The snapshot is not atomic
-// across shards (counters advance concurrently), which is fine for the
-// throughput reporting it feeds.
+// Stats snapshots every live shard's counters under the current map,
+// in ascending shard-id order (seed shards first, split children
+// after). The snapshot is not atomic across shards (counters advance
+// concurrently), which is fine for the throughput reporting it feeds.
+// Counters of shards that have split away are NOT here — they live in
+// the retired accumulator AggregateStats folds back in.
 func (s *Store) Stats() []ShardStats {
-	out := make([]ShardStats, len(s.shards))
-	for i := range s.shards {
-		sh := &s.shards[i]
-		out[i] = ShardStats{
-			Gets:       sh.gets.Load(),
-			Puts:       sh.puts.Load(),
-			Deletes:    sh.deletes.Load(),
-			Scans:      sh.scans.Load(),
-			BatchLocks: sh.batches.Load(),
-		}
+	m := s.smap.Load()
+	out := make([]ShardStats, len(m.shards))
+	for i, sh := range m.shards {
+		out[i] = sh.stats()
 	}
 	return out
 }
 
-// AggregateStats sums Stats across shards.
+// AggregateStats sums Stats across live shards plus every shard that
+// has split away, so totals survive any number of map swaps. It
+// serialises with splits (splitMu): a split folds the retired shard's
+// counters moments before the map swap drops the shard, and an
+// unserialised reader in that window would count the shard's whole
+// history twice. Splits hold the mutex across the rendezvous, so this
+// can block for a split's duration (~ms) — it is a reporting call.
 func (s *Store) AggregateStats() ShardStats {
-	var agg ShardStats
+	s.splitMu.Lock()
+	defer s.splitMu.Unlock()
+	agg := ShardStats{
+		Gets:          s.retired.gets.Load(),
+		Puts:          s.retired.puts.Load(),
+		Deletes:       s.retired.deletes.Load(),
+		Scans:         s.retired.scans.Load(),
+		BatchLocks:    s.retired.batches.Load(),
+		LockAttempts:  s.retired.lockAttempts.Load(),
+		LockContended: s.retired.lockContended.Load(),
+	}
 	for _, st := range s.Stats() {
 		agg.Gets += st.Gets
 		agg.Puts += st.Puts
 		agg.Deletes += st.Deletes
 		agg.Scans += st.Scans
 		agg.BatchLocks += st.BatchLocks
+		agg.LockAttempts += st.LockAttempts
+		agg.LockContended += st.LockContended
 	}
 	return agg
 }
 
 // String summarises the shard layout.
 func (s *Store) String() string {
-	return fmt.Sprintf("shardedkv.Store{shards: %d}", len(s.shards))
+	m := s.smap.Load()
+	return fmt.Sprintf("shardedkv.Store{shards: %d, epoch: %d}", len(m.shards), m.epoch)
 }
