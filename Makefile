@@ -14,6 +14,8 @@ RACE_PKGS = . \
 	./internal/core \
 	./internal/locks \
 	./internal/shardedkv \
+	./internal/kvserver \
+	./internal/kvclient \
 	./internal/storage/... \
 	./internal/workload \
 	./internal/stats \
@@ -22,7 +24,7 @@ RACE_PKGS = . \
 	./internal/dbbench \
 	./internal/simlock
 
-.PHONY: check build vet fmt-check test short race ci bench bench-json
+.PHONY: check build vet fmt-check test short race ci bench bench-json net-smoke
 
 check: vet fmt-check build test
 
@@ -50,9 +52,37 @@ short:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# ci is what the workflow runs: the tier-1 gate, the race gate, and
-# the short smoke paths.
-ci: check race short
+# net-smoke proves the network front end end to end with the REAL
+# binaries: build cmd/kvserver, serve, drive a short mixed-class
+# client mix through kvbench -net -netaddr (big workers interactive,
+# little workers bulk), then SIGTERM the server and assert it exits
+# cleanly (the graceful-shutdown contract).
+# The server binds port 0 and reports the kernel-chosen address on
+# stderr, so concurrent jobs on a shared runner can never collide on
+# (or accidentally smoke-test) each other's listener.
+net-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/kvserver ./cmd/kvserver; \
+	$$tmp/kvserver -addr 127.0.0.1:0 -engine hashkv -lock asl 2>$$tmp/server.log & pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/.* on \(127\.0\.0\.1:[0-9][0-9]*\)$$/\1/p' $$tmp/server.log | head -1); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "net-smoke: server never reported its address"; cat $$tmp/server.log; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	$(GO) run ./cmd/kvbench -net -netaddr $$addr -mixes zipfw \
+		-dur 200ms -warmup 50ms -keys 4096 || { cat $$tmp/server.log; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	cat $$tmp/server.log; \
+	rm -rf $$tmp; \
+	echo "net-smoke: clean shutdown"
+
+# ci is what the workflow runs: the tier-1 gate, the race gate, the
+# short smoke paths, and the network smoke.
+ci: check race short net-smoke
 
 bench:
 	$(GO) run ./cmd/kvbench -dur 500ms
@@ -63,10 +93,19 @@ bench:
 # section, the write-heavy zipfian mix — so the pipe-* rows show real
 # combining (ops_per_lock_take > 1), the rs-* rows reshard mid-run
 # (splits/reshard_events in the records), and the pipe-ff-* rows show
-# the fire-and-forget write path. rs-* rows are trend data like
-# everything else here: split counts depend on how fast skew
-# accumulates inside the short measured window.
+# the fire-and-forget write path. The second run is the mixed-class
+# NETWORK smoke load: a heavy critical section (so service time
+# dominates scheduler noise on small runners) and a one-slot bulk
+# admission gate — on the asl rows the interactive class's p99 should
+# sit at or below the bulk class's (p99_interactive <= p99_bulk in the
+# records), while the class-oblivious mutex rows show no separation.
+# rs-* and net-* rows are trend data like everything else here: split
+# counts and queueing depend on how fast skew accumulates inside the
+# short measured window.
 bench-json:
 	$(GO) run ./cmd/kvbench -engines hashkv,lsm -mixes zipfw,zipf \
 		-locks asl,mutex -pipeline -reshard -ff -shards 4 -cs 1us \
+		-dur 500ms -warmup 150ms -json BENCH_kvbench.json
+	$(GO) run ./cmd/kvbench -net -engines hashkv -mixes zipfw \
+		-locks asl,mutex -pipeline -shards 4 -cs 100us -bulkinflight 1 \
 		-dur 500ms -warmup 150ms -json BENCH_kvbench.json

@@ -11,6 +11,8 @@
 //	kvbench -threads 8 -bigs 4 -slo 200us -dur 1s -shardstats
 //	kvbench -pipeline -mixes zipfw           # ASL vs combining vs plain, one grid
 //	kvbench -pipeline -reshard -ff           # + rs-*, rs-pipe-*, pipe-ff-* rows
+//	kvbench -net -mixes zipfw                # the grid over TCP: net-* rows
+//	kvbench -net -netaddr host:7877          # ... against an external kvserver
 //	kvbench -json BENCH_kvbench.json         # append a trajectory record per row
 //
 // Mixes: read (95% get), write (80% put), zipf (YCSB-A 50/50 over
@@ -31,10 +33,16 @@
 // epilogue Flush is the write barrier). -reshard adds rs-<lock> (and,
 // with -pipeline, rs-pipe-<lock>) rows on a store with the skew
 // detector live: sustained hot shards split mid-run, and the reshard
-// event/split counts land on stderr and in the -json records. Like
-// every trajectory number, rs-* rows are trend data, not gates —
-// shared runners are noisy and splits depend on how fast skew
-// accumulates within the measured window.
+// event/split counts land on stderr and in the -json records. -net
+// replaces the expansion with the over-the-wire family: net-<lock>
+// (and net-pipe-<lock>) rows run against an in-process kvserver, big
+// workers issuing interactive-class requests and little workers
+// bulk-class ones, with client-side per-class p99s and admission
+// counts in the records (see cmd/kvbench/README.md for the full flag
+// and schema reference). Like every trajectory number, rs-* and net-*
+// rows are trend data, not gates — shared runners are noisy and
+// splits/queueing depend on how fast skew accumulates within the
+// measured window.
 package main
 
 import (
@@ -49,6 +57,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kvclient"
+	"repro/internal/kvserver"
 	"repro/internal/locks"
 	"repro/internal/prng"
 	"repro/internal/shardedkv"
@@ -72,6 +82,12 @@ type benchConfig struct {
 	csUnits   int64
 	pipeBatch int
 	skew      float64
+	// Net-mode knobs (-net): bulk-class epoch SLO on the server, the
+	// per-shard bulk admission bound, and the client connection count
+	// (0 = one per worker).
+	sloBulk      time.Duration
+	bulkInflight int
+	netConns     int
 }
 
 type mixSpec struct {
@@ -108,6 +124,11 @@ type lockSpec struct {
 	ff bool
 	// reshard runs the row on a store with the skew detector live.
 	reshard bool
+	// net runs the row over the wire: an in-process kvserver serves
+	// the store and the workers drive it through kvclient connections,
+	// big-class workers as interactive requests and little-class
+	// workers as bulk.
+	net bool
 }
 
 // expandLocks grows each base lock into its comparison family: the
@@ -130,6 +151,23 @@ func expandLocks(lks []lockSpec, pipeline, ff, reshard bool) []lockSpec {
 			if pipeline {
 				out = append(out, lockSpec{name: "rs-pipe-" + lk.name, f: lk.f, slo: lk.slo, pipe: true, reshard: true})
 			}
+		}
+	}
+	return out
+}
+
+// expandNetLocks grows each base lock into its over-the-wire family:
+// a net-<lock> row per lock and, with -pipeline, a net-pipe-<lock> row
+// whose server routes operations through the combining AsyncStore. The
+// -ff and -reshard families are local-only (the protocol is
+// request/response and the net rows keep placement static), so net
+// mode replaces rather than extends the local expansion.
+func expandNetLocks(lks []lockSpec, pipeline bool) []lockSpec {
+	var out []lockSpec
+	for _, lk := range lks {
+		out = append(out, lockSpec{name: "net-" + lk.name, f: lk.f, slo: lk.slo, net: true})
+		if pipeline {
+			out = append(out, lockSpec{name: "net-pipe-" + lk.name, f: lk.f, slo: lk.slo, net: true, pipe: true})
 		}
 	}
 	return out
@@ -360,6 +398,243 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 	return merged.Summarize(name, cfg.dur), st.Stats(), comb, rs
 }
 
+// netPreload fills half the keyspace over the wire (MultiPut batches)
+// so gets have something to hit, mirroring preload.
+func netPreload(cl *kvclient.Client, cfg benchConfig) error {
+	v := make([]byte, cfg.vsize)
+	kvs := make([]shardedkv.KV, 0, 512)
+	for k := uint64(0); k < cfg.keys; k += 2 {
+		kvs = append(kvs, shardedkv.KV{Key: k, Value: v})
+		if len(kvs) == cap(kvs) || k+2 >= cfg.keys {
+			if _, err := cl.MultiPut(kvserver.ClassInteractive, kvs); err != nil {
+				return err
+			}
+			kvs = kvs[:0]
+		}
+	}
+	return nil
+}
+
+// runNet executes one configuration over the wire: an in-process
+// kvserver (or, with remoteAddr, an external one) serves the store,
+// and the workers drive it through kvclient connections — big-class
+// workers issue interactive requests, little-class workers bulk ones,
+// so the per-request SLO class byte carries the asymmetry instead of
+// any per-goroutine state. Returns the client-side summary (BigP99 =
+// interactive, LittleP99 = bulk), the server's final stats, and (for
+// net-pipe rows) the aggregate combining stats.
+func runNet(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig, remoteAddr string) (stats.Summary, *kvserver.ServerStats, *shardedkv.CombineStats, error) {
+	var srv *kvserver.Server
+	var async *shardedkv.AsyncStore
+	addr := remoteAddr
+	if addr == "" {
+		shim := workload.DefaultShim()
+		st := shardedkv.New(shardedkv.Config{
+			Shards:    cfg.shards,
+			NewEngine: eng.New,
+			NewLock:   lk.f,
+			CSPad: func(w *core.Worker) {
+				// Keyed to the EFFECTIVE class — the per-request hint —
+				// so a bulk request pays the little-core critical
+				// section whichever goroutine executes it.
+				workload.Spin(shim.CSUnits(cfg.csUnits, w.Class()))
+			},
+		})
+		if lk.pipe {
+			async = shardedkv.NewAsync(st, shardedkv.AsyncConfig{MaxBatch: cfg.pipeBatch})
+		}
+		sloI := time.Duration(0)
+		if lk.slo && cfg.slo > 0 {
+			sloI = time.Duration(cfg.slo)
+		}
+		sloB := time.Duration(0)
+		if lk.slo && cfg.sloBulk > 0 {
+			sloB = cfg.sloBulk
+		}
+		var err error
+		srv, err = kvserver.New(kvserver.Config{
+			Store:          st,
+			Async:          async,
+			SLOInteractive: sloI,
+			SLOBulk:        sloB,
+			Admission:      kvserver.AdmissionConfig{BulkPerShard: cfg.bulkInflight},
+		})
+		if err != nil {
+			return stats.Summary{}, nil, nil, err
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			return stats.Summary{}, nil, nil, err
+		}
+		defer srv.Close()
+		addr = srv.Addr().String()
+	}
+
+	nconn := cfg.netConns
+	if nconn <= 0 {
+		nconn = cfg.threads
+	}
+	clients := make([]*kvclient.Client, nconn)
+	for i := range clients {
+		cl, err := kvclient.DialRetry(addr, 5*time.Second)
+		if err != nil {
+			return stats.Summary{}, nil, nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+	if err := netPreload(clients[0], cfg); err != nil {
+		return stats.Summary{}, nil, nil, fmt.Errorf("preload: %w", err)
+	}
+
+	var keygen workload.KeyGen = workload.NewUniform(cfg.keys)
+	if mix.zipf {
+		keygen = workload.NewZipf(cfg.keys, cfg.zipfS)
+	}
+
+	var stop, recording atomic.Bool
+	var rejected atomic.Uint64
+	var dead atomic.Int64
+	var firstErr atomic.Pointer[error]
+	recs := make([]*stats.ClassedRecorder, cfg.threads)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.threads; i++ {
+		class := core.Big
+		wireClass := kvserver.ClassInteractive
+		if i >= cfg.bigs {
+			class = core.Little
+			wireClass = kvserver.ClassBulk
+		}
+		rec := stats.NewClassedRecorder()
+		recs[i] = rec
+		cl := clients[i%nconn]
+		wg.Add(1)
+		go func(i int, class core.Class, wireClass uint8, cl *kvclient.Client) {
+			defer wg.Done()
+			rng := prng.NewSplitMix64(uint64(i)*0x9e3779b97f4a7c15 + 0xbeef)
+			val := make([]byte, cfg.vsize)
+			kvs := make([]shardedkv.KV, cfg.batch)
+			keys := make([]uint64, cfg.batch)
+			// doOp mirrors run()'s operation unit accounting; it
+			// returns (ops covered, fatal error). Admission-rejected
+			// bulk requests count as one completed (shed) op.
+			doOp := func() (uint64, error) {
+				kind := mix.mix.Draw(rng.Uint64())
+				if mix.batched {
+					switch kind {
+					case workload.OpScan:
+						// No MultiRange opcode (docs/protocol.md):
+						// scanbatch issues its ranges back to back on
+						// the pipelined connection.
+						visited := uint64(0)
+						for j := 0; j < cfg.batch; j++ {
+							lo := keygen.Draw(rng)
+							res, _, err := cl.Range(wireClass, lo, spanHi(lo, cfg.span), 0)
+							if err != nil {
+								return visited, err
+							}
+							visited += uint64(len(res))
+						}
+						return max(visited, 1), nil
+					case workload.OpGet:
+						for j := range keys {
+							keys[j] = keygen.Draw(rng)
+						}
+						if _, _, err := cl.MultiGet(wireClass, keys); err != nil {
+							return 0, err
+						}
+					default:
+						for j := range kvs {
+							kvs[j] = shardedkv.KV{Key: keygen.Draw(rng), Value: val}
+						}
+						if _, err := cl.MultiPut(wireClass, kvs); err != nil {
+							return 0, err
+						}
+					}
+					return uint64(cfg.batch), nil
+				}
+				k := keygen.Draw(rng)
+				switch kind {
+				case workload.OpScan:
+					res, _, err := cl.Range(wireClass, k, spanHi(k, cfg.span), 0)
+					if err != nil {
+						return 0, err
+					}
+					return max(uint64(len(res)), 1), nil
+				case workload.OpGet:
+					if _, _, err := cl.Get(wireClass, k); err != nil {
+						return 0, err
+					}
+				default:
+					if _, err := cl.Put(wireClass, k, val); err != nil {
+						return 0, err
+					}
+				}
+				return 1, nil
+			}
+			for !stop.Load() {
+				s := time.Now()
+				n, err := doOp()
+				lat := int64(time.Since(s))
+				if err != nil {
+					if kvclient.IsAdmissionRejected(err) {
+						rejected.Add(1)
+						n = max(n, 1)
+					} else {
+						// Connection-level failure: a silently thinner
+						// worker pool would make the row's record a
+						// lie, so the death is counted and fails the
+						// row after the run.
+						dead.Add(1)
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+				if recording.Load() {
+					rec.RecordBatch(class, lat, n)
+				}
+			}
+		}(i, class, wireClass, cl)
+	}
+	time.Sleep(cfg.warmup)
+	recording.Store(true)
+	time.Sleep(cfg.dur)
+	stop.Store(true)
+	wg.Wait()
+	if d := dead.Load(); d > 0 {
+		err := fmt.Errorf("%d of %d workers lost their connection", d, cfg.threads)
+		if ep := firstErr.Load(); ep != nil {
+			err = fmt.Errorf("%v (first: %w)", err, *ep)
+		}
+		return stats.Summary{}, nil, nil, err
+	}
+
+	merged := stats.NewClassedRecorder()
+	for _, r := range recs {
+		merged.Merge(r)
+	}
+	var comb *shardedkv.CombineStats
+	if async != nil {
+		if err := clients[0].Flush(kvserver.ClassBulk); err == nil {
+			c := async.AggregateCombineStats()
+			comb = &c
+		}
+	}
+	sstats, err := clients[0].Stats()
+	if err != nil {
+		return merged.Summarize(name, cfg.dur), nil, comb, fmt.Errorf("server stats: %w", err)
+	}
+	if remoteAddr != "" {
+		// A shared external server's cumulative counters cover other
+		// clients and earlier rows too: rejections are re-scoped to
+		// this run's own client tally, and the wait count — which has
+		// no client-side analogue — is dropped rather than reported
+		// on the wrong scope.
+		sstats.BulkRejected = rejected.Load()
+		sstats.BulkWaited = 0
+	}
+	return merged.Summarize(name, cfg.dur), &sstats, comb, nil
+}
+
 // benchRecord is one row of the bench trajectory: CI appends these to
 // BENCH_kvbench.json per commit, so the file accumulates a
 // throughput/latency history the next PR can diff against.
@@ -380,6 +655,16 @@ type benchRecord struct {
 	Splits        uint64 `json:"splits,omitempty"`
 	ReshardEvents uint64 `json:"reshard_events,omitempty"`
 	Shards        int    `json:"shards,omitempty"`
+	// P99InteractiveNs/P99BulkNs are the net-* rows' per-SLO-class
+	// client-side tails, OpsInteractive/OpsBulk the per-class measured
+	// op counts; BulkWaited counts bulk admissions that queued at the
+	// gate and BulkRejected the requests it shed.
+	P99InteractiveNs int64  `json:"p99_interactive,omitempty"`
+	P99BulkNs        int64  `json:"p99_bulk,omitempty"`
+	OpsInteractive   uint64 `json:"ops_interactive,omitempty"`
+	OpsBulk          uint64 `json:"ops_bulk,omitempty"`
+	BulkWaited       uint64 `json:"bulk_waited,omitempty"`
+	BulkRejected     uint64 `json:"bulk_rejected,omitempty"`
 }
 
 // currentCommit resolves the commit id stamped into trajectory
@@ -455,6 +740,11 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "also run a pipe-<lock> row per lock: ops routed through the flat-combining AsyncStore")
 	ff := flag.Bool("ff", false, "also run a pipe-ff-<lock> row per lock: writes submitted fire-and-forget (PutAsync)")
 	reshard := flag.Bool("reshard", false, "also run rs-<lock> (and, with -pipeline, rs-pipe-<lock>) rows with the skew detector splitting hot shards mid-run")
+	netMode := flag.Bool("net", false, "run the grid over the wire: net-<lock> rows drive an in-process kvserver through kvclient connections (big workers interactive, little workers bulk)")
+	netAddr := flag.String("netaddr", "", "with -net: drive an EXTERNAL kvserver at this address instead (one remote/<mix>/net-remote row per mix; engine and lock are the server's)")
+	netConns := flag.Int("netconns", 0, "with -net: client connections shared by the workers; 0 = one per worker")
+	sloBulk := flag.Duration("slobulk", 2*time.Millisecond, "with -net: bulk-class epoch SLO on the served store (asl locks); 0 disables")
+	bulkInflight := flag.Int("bulkinflight", 0, "with -net: per-shard bulk admission bound (0 = server default, negative disables the gate)")
 	skew := flag.Float64("skew", 1.2, "reshard skew factor: a shard splits after sustaining this multiple of its fair ops share")
 	pipeBatch := flag.Int("pipebatch", 0, "max ops a pipeline combiner executes per lock take; 0 = adaptive per-shard bound")
 	jsonPath := flag.String("json", "", "append one {commit, engine, mix, lock, ops_per_sec, p99} record per row to this JSON file")
@@ -501,7 +791,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvbench: -locks: %v\n", err)
 		os.Exit(2)
 	}
-	lks = expandLocks(lks, *pipeline, *ff, *reshard)
+	if *netMode {
+		if *ff || *reshard {
+			fmt.Fprintln(os.Stderr, "kvbench: -ff/-reshard rows are local-only; ignoring them under -net")
+		}
+		lks = expandNetLocks(lks, *pipeline)
+		if *netAddr != "" {
+			// The external server fixes engine and lock; one row per mix.
+			engs = []shardedkv.EngineSpec{{Name: "remote"}}
+			lks = []lockSpec{{name: "net-remote", net: true}}
+		}
+	} else {
+		lks = expandLocks(lks, *pipeline, *ff, *reshard)
+	}
 	if *pipeBatch < 0 {
 		fmt.Fprintf(os.Stderr, "kvbench: -pipebatch must be >= 0 (got %d; 0 = adaptive)\n", *pipeBatch)
 		os.Exit(2)
@@ -514,20 +816,23 @@ func main() {
 	cal := workload.Calibrate()
 	fmt.Fprintf(os.Stderr, "calibration: %.2f ns/spin-unit\n", cal.NsPerUnit)
 	cfg := benchConfig{
-		shards:    *shards,
-		threads:   *threads,
-		bigs:      *bigs,
-		dur:       *dur,
-		warmup:    *warmup,
-		slo:       int64(*slo),
-		keys:      *keys,
-		vsize:     *vsize,
-		batch:     *batch,
-		span:      *span,
-		zipfS:     *zipfS,
-		ncsUnits:  cal.Units(*ncsGap),
-		pipeBatch: *pipeBatch,
-		skew:      *skew,
+		shards:       *shards,
+		threads:      *threads,
+		bigs:         *bigs,
+		dur:          *dur,
+		warmup:       *warmup,
+		slo:          int64(*slo),
+		keys:         *keys,
+		vsize:        *vsize,
+		batch:        *batch,
+		span:         *span,
+		zipfS:        *zipfS,
+		ncsUnits:     cal.Units(*ncsGap),
+		pipeBatch:    *pipeBatch,
+		skew:         *skew,
+		sloBulk:      *sloBulk,
+		bulkInflight: *bulkInflight,
+		netConns:     *netConns,
 	}
 	if *csPad > 0 {
 		cfg.csUnits = cal.Units(*csPad)
@@ -550,10 +855,31 @@ func main() {
 					mixName = fmt.Sprintf("%s%d", mix.name, cfg.batch)
 				}
 				name := fmt.Sprintf("%s/%s/%s", eng.Name, mixName, lk.name)
-				row, shardStats, comb, rs := run(name, eng, mix, lk, cfg)
+				var row stats.Summary
+				var shardStats []shardedkv.ShardStats
+				var comb *shardedkv.CombineStats
+				var rs *shardedkv.ReshardStats
+				var sstats *kvserver.ServerStats
+				if lk.net {
+					var err error
+					row, sstats, comb, err = runNet(name, eng, mix, lk, cfg, *netAddr)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "kvbench: -net %s: %v\n", name, err)
+						os.Exit(1)
+					}
+				} else {
+					row, shardStats, comb, rs = run(name, eng, mix, lk, cfg)
+					lastShards = shardStats
+				}
 				rows = append(rows, row)
-				lastShards = shardStats
 				fmt.Fprintf(os.Stderr, "done: %s\n", name)
+				if sstats != nil {
+					fmt.Fprintf(os.Stderr,
+						"  net: interactive p99 %s / bulk p99 %s (server-side %s / %s; bulk waited %d, rejected %d, shards %d)\n",
+						time.Duration(row.BigP99), time.Duration(row.LittleP99),
+						time.Duration(sstats.Interactive.P99Ns), time.Duration(sstats.Bulk.P99Ns),
+						sstats.BulkWaited, sstats.BulkRejected, sstats.Shards)
+				}
 				if comb != nil {
 					fmt.Fprintf(os.Stderr,
 						"  combining: %d ops / %d takes = %.2f ops/take (direct %d, handoffs %d, depthHW %d, maxbatch %d, big/little takes %d/%d)\n",
@@ -583,6 +909,15 @@ func main() {
 						rec.Splits = rs.Splits
 						rec.ReshardEvents = rs.Events
 						rec.Shards = rs.Shards
+					}
+					if sstats != nil {
+						rec.P99InteractiveNs = row.BigP99
+						rec.P99BulkNs = row.LittleP99
+						rec.OpsInteractive = row.BigOps
+						rec.OpsBulk = row.LittleOps
+						rec.BulkWaited = sstats.BulkWaited
+						rec.BulkRejected = sstats.BulkRejected
+						rec.Shards = sstats.Shards
 					}
 					records = append(records, rec)
 				}

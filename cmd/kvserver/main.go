@@ -1,0 +1,148 @@
+// Command kvserver serves the sharded asymmetry-aware KV store over
+// TCP with the binary protocol of docs/protocol.md. Every request
+// carries an SLO class byte: interactive requests run big-class at the
+// shard lock (ASL fast path; elect/combine/spin under -pipeline), bulk
+// requests run little-class (reorder standby; enqueue/park) and pass a
+// bounded per-shard admission gate — the paper's asymmetry-aware
+// admission applied per request at the serving boundary.
+//
+// Usage:
+//
+//	kvserver                                   # hashkv engine, ASL shard locks, :7877
+//	kvserver -addr :7900 -engine lsm -lock asl -shards 32
+//	kvserver -pipeline                         # ops routed through the combining AsyncStore
+//	kvserver -slo-interactive 100us -slo-bulk 2ms -bulk-inflight 4
+//	kvserver -cs 1us                           # AMP critical-section emulation (benchmarks)
+//
+// The server shuts down cleanly on SIGINT/SIGTERM: the listener
+// closes, in-flight requests finish, final stats print to stderr, and
+// the process exits 0 — the contract `make net-smoke` asserts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvserver"
+	"repro/internal/locks"
+	"repro/internal/shardedkv"
+	"repro/internal/workload"
+)
+
+// lockFactories names the serving lock choices (the kvbench comparison
+// set minus nothing: any WLock can guard a shard).
+func lockFactories() map[string]locks.Factory {
+	return map[string]locks.Factory{
+		"asl":          locks.FactoryASL(),
+		"asl-blocking": locks.FactoryASLBlocking(),
+		"mutex":        locks.FactorySyncMutex(),
+		"mcs":          locks.FactoryMCS(),
+		"pthread":      locks.FactoryPthread(),
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7877", "listen address")
+	engine := flag.String("engine", "hashkv", "storage engine: hashkv|btree|skiplist|lsm")
+	lock := flag.String("lock", "asl", "shard lock: asl|asl-blocking|mutex|mcs|pthread")
+	shards := flag.Int("shards", 16, "shard count")
+	pipeline := flag.Bool("pipeline", false, "route operations through the flat-combining AsyncStore")
+	pipeBatch := flag.Int("pipebatch", 0, "combiner drain bound; 0 = adaptive")
+	sloInteractive := flag.Duration("slo-interactive", 100*time.Microsecond, "interactive-class epoch SLO; 0 disables epochs for the class")
+	sloBulk := flag.Duration("slo-bulk", 2*time.Millisecond, "bulk-class epoch SLO; 0 disables epochs for the class")
+	bulkInflight := flag.Int("bulk-inflight", 0, "max in-flight bulk ops per shard (0 = default, negative disables the gate)")
+	bulkWaiters := flag.Int("bulk-waiters", 0, "max waiting bulk ops per shard before rejection (0 = 4x inflight)")
+	csPad := flag.Duration("cs", 0, "AMP emulation: big-core critical-section pad, littles scaled by the shim; 0 disables (production)")
+	statsEvery := flag.Duration("stats-every", 0, "dump server stats to stderr at this interval; 0 disables")
+	flag.Parse()
+
+	var engSpec *shardedkv.EngineSpec
+	for _, e := range shardedkv.AllEngines() {
+		if e.Name == *engine {
+			engSpec = &e
+			break
+		}
+	}
+	if engSpec == nil {
+		fmt.Fprintf(os.Stderr, "kvserver: unknown -engine %q\n", *engine)
+		os.Exit(2)
+	}
+	lf, ok := lockFactories()[*lock]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kvserver: unknown -lock %q\n", *lock)
+		os.Exit(2)
+	}
+
+	scfg := shardedkv.Config{Shards: *shards, NewEngine: engSpec.New, NewLock: lf}
+	if *csPad > 0 {
+		shim := workload.DefaultShim()
+		cal := workload.Calibrate()
+		units := cal.Units(*csPad)
+		scfg.CSPad = func(w *core.Worker) {
+			workload.Spin(shim.CSUnits(units, w.Class()))
+		}
+	}
+	st := shardedkv.New(scfg)
+	var async *shardedkv.AsyncStore
+	if *pipeline {
+		async = shardedkv.NewAsync(st, shardedkv.AsyncConfig{MaxBatch: *pipeBatch})
+	}
+
+	srv, err := kvserver.New(kvserver.Config{
+		Store:          st,
+		Async:          async,
+		SLOInteractive: *sloInteractive,
+		SLOBulk:        *sloBulk,
+		Admission: kvserver.AdmissionConfig{
+			BulkPerShard: *bulkInflight,
+			BulkWaiters:  *bulkWaiters,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "kvserver: serving %s/%s (%d shards, pipeline=%v) on %s\n",
+		*engine, *lock, *shards, *pipeline, srv.Addr())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				dumpStats(srv)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "kvserver: %v — shutting down\n", got)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: close: %v\n", err)
+		os.Exit(1)
+	}
+	if async != nil {
+		async.Close(core.NewWorker(core.WorkerConfig{Class: core.Big}))
+	}
+	dumpStats(srv)
+	fmt.Fprintln(os.Stderr, "kvserver: clean shutdown")
+}
+
+func dumpStats(srv *kvserver.Server) {
+	body, err := json.Marshal(srv.Stats())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvserver: stats: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "kvserver: stats %s\n", body)
+}

@@ -1,70 +1,75 @@
 // Package repro is a from-scratch Go reproduction of "Asymmetry-aware
-// Scalable Locking" (LibASL, PPoPP 2022). The implementation lives under
-// internal/: internal/core holds the engine-independent LibASL logic
-// (epoch registry and AIMD reorder-window controller), internal/locks
-// holds real Go lock implementations including the reorderable lock and
-// ASLMutex, and internal/sim + internal/amp + internal/simlock form a
-// deterministic discrete-event AMP simulator used to regenerate the
-// paper's figures. See DESIGN.md for the full system inventory and
-// EXPERIMENTS.md for paper-vs-measured results.
+// Scalable Locking" (LibASL, PPoPP 2022) grown into a networked,
+// sharded KV service that applies the paper's idea at every layer:
+// admission to a contended lock depends on who is asking — strong
+// (big) entrants take the fast path, latency-tolerant (little)
+// entrants stand by within an SLO-fed reorder window.
 //
-// On top of the lock reproduction sits a serving layer,
-// internal/shardedkv: a sharded KV store in which every shard pairs
-// one lock (an ASLMutex by default, so admission follows the paper's
-// big/little policy per shard) with one pluggable storage engine
-// (internal/storage/{hashkv,btree,lsm,skiplist}). Batched operations
-// sort keys by shard to take each shard lock once per batch, and
-// ordered range scans run end to end: every engine implements Range
-// (the LSM via a merged memtable+runs iterator over first-class
-// tombstones, the hash table via collect-and-sort), and the Store
-// merges per-shard slices into one ascending emission (Range) or
-// batches several ranges through one pass over the shards
-// (MultiRange). cmd/kvbench benchmarks the layer across engines,
-// workload mixes (zipfian skew and the YCSB-E-style scan mix from
-// internal/workload) and lock choices, and examples/shardedkv walks
-// through ASL-vs-sync.Mutex shard locks.
+// The layers, bottom to top (ARCHITECTURE.md walks the same path in
+// detail, with the conventions each layer relies on):
 //
-// Above the synchronous store sits an asynchronous combining front
-// end, shardedkv.AsyncStore: each shard gets a lock-free MPSC request
-// ring, callers enqueue Get/Put/Delete/Range requests and wait on
-// futures (spinning or parking by core class), and whoever wins the
-// shard lock's TryAcquire — big-class workers preferentially — becomes
-// the combiner, draining a bounded batch of queued ops under a single
-// lock take. Weak cores enqueue, strong cores combine: the
-// flat-combining extension of the paper's handoff-policy argument,
-// with per-shard stats (ops-per-lock-take, combiner handoffs, queue
-// depth highwater, effective drain bound) to show it batching. The
-// drain bound is adaptive by default: it grows toward the observed
-// queue-depth highwater while big-core drains saturate it and decays
-// when a ring runs dry, so hot shards batch deep and cold shards stay
-// latency-lean. PutAsync/DeleteAsync submit fire-and-forget writes
-// whose futures recycle on execution (Flush is the write barrier).
-// kvbench -pipeline adds pipe-<lock> rows (and -ff pipe-ff-<lock>
-// rows) so handoff policy, combining, and fire-and-forget answer the
-// same contention grid.
+// # Lock reproduction
 //
-// The store's data placement is dynamic: lookups route through a
-// copy-on-write shard map (an extendible-hashing directory swapped
-// atomically per split), and enabling Config.Reshard arms a skew
-// detector that watches each shard's traffic share plus two wait
-// signals — the lock-contention counters the locks.Contended wrapper
-// adds to every shard lock, and the pipeline's queue-depth estimate —
-// and splits a shard that sustains a configured skew factor. A split
-// rendezvouses only the affected shard: its ring is drained, its keys
-// partition into two children via Range, the map pointer swaps, and a
-// forward pointer redirects stale-snapshot readers, so the rest of
-// the store never stalls (shard fission in the spirit of Fissile
-// Locks, reacting to measured saturation per Dice & Kogan). kvbench
-// -reshard adds rs-<lock>/rs-pipe-<lock> rows whose records carry
-// split and reshard-event counts.
+// internal/core holds the engine-independent LibASL logic: the AIMD
+// reorder-window controller (Algorithm 2), the epoch registry, and
+// the worker/core-class model — including the per-operation ClassHint
+// that lets a serving boundary re-class a single operation without
+// re-classing the goroutine. internal/locks holds the real lock
+// algorithms (TAS/ticket/MCS/ShflLock-proportional baselines, the
+// reorderable lock, ASLMutex) behind the worker-aware WLock
+// interface, plus observability wrappers: locks.Contended counts real
+// lock waits, locks.ClassProbe records the class each acquisition was
+// observed under. internal/sim + internal/amp + internal/simlock form
+// the deterministic discrete-event AMP simulator that regenerates the
+// paper's figures; DESIGN.md inventories the system, EXPERIMENTS.md
+// the paper-vs-measured results.
 //
-// CI (.github/workflows/ci.yml) gates every push/PR on `make ci`
-// (vet + gofmt + build + test, the race detector over all
-// concurrency-bearing packages, and the -short smoke paths), then a
-// non-gating job runs `make bench-json` and uploads BENCH_kvbench.json
-// — an append-only array of {commit, engine, mix, lock, ops_per_sec,
-// p99} records — as the bench-trajectory artifact, so performance
-// history accumulates per commit.
+// # Serving layer
+//
+// internal/shardedkv shards a KV store so that every shard pairs one
+// WLock (ASLMutex by default) with one pluggable single-writer engine
+// (internal/storage/{hashkv,btree,lsm,skiplist}). Batched ops take
+// each shard lock once; ordered scans collect under the lock and
+// emit after release. Placement is dynamic: a copy-on-write shard map
+// with stable ids and forward pointers lets a skew detector split
+// sustained-hot shards without stalling the rest of the store.
+// Store.As / AsyncStore.As provide op-level class-override views —
+// the library face of the ClassHint path.
+//
+// shardedkv.AsyncStore is the flat-combining front end: per-shard
+// lock-free MPSC rings, futures with class-aware spin/park waiting,
+// combiner election via TryAcquire with big-class preference, and an
+// adaptive drain bound — weak cores enqueue, strong cores combine.
+// PutAsync/DeleteAsync submit fire-and-forget writes; Flush is the
+// write barrier.
+//
+// # Network front end
+//
+// internal/kvserver serves the store over TCP with a length-prefixed
+// binary protocol (docs/protocol.md is normative; a test pins it to
+// the code). Every request carries an SLO class byte the server maps
+// to the lock class for exactly that operation: interactive requests
+// run big-class (ASL fast path; elect/combine/spin on the pipeline),
+// bulk requests run little-class (reorder standby; enqueue/park) and
+// pass a bounded per-shard admission gate — concurrency restriction
+// at the serving boundary, with interactive bypass. Per-class SLO
+// epochs feed the ASL window controllers from per-request latencies.
+// internal/kvclient is the concurrent pipelining client (one
+// multiplexed connection, calls matched by request id).
+// cmd/kvserver is the standalone binary (clean SIGTERM shutdown);
+// kvbench -net drives the whole grid over the wire.
+//
+// # Benchmarks and CI
+//
+// cmd/kvbench benchmarks the serving layer across engines, workload
+// mixes (internal/workload) and locks — locally and over the network
+// — and appends {commit, engine, mix, lock, ops_per_sec, p99, ...}
+// records to BENCH_kvbench.json (cmd/kvbench/README.md documents
+// every flag, row family and the record schema).
+// .github/workflows/ci.yml gates every push on `make ci`: vet, gofmt,
+// build, tests, the race detector over RACE_PKGS, the -short smoke
+// paths, and net-smoke (a real server driven by a real client and
+// shut down by SIGTERM).
 package repro
 
 // Version identifies this reproduction build.

@@ -2,7 +2,9 @@
 // with plain sync.Mutex shard locks, with ASL shard locks, with the
 // flat-combining pipeline (AsyncStore) over ASL locks, and with
 // skew-adaptive resharding on top of the pipeline — under an
-// asymmetric big/little worker pool on a zipfian-skewed YCSB-A mix.
+// asymmetric big/little worker pool on a zipfian-skewed YCSB-A mix,
+// then served over TCP (kvserver/kvclient) with per-request SLO
+// classes standing in for the per-goroutine classing.
 //
 // The comparison shows the paper's trade on a service-shaped system:
 // the class-oblivious mutex serves everyone alike and lets slow
@@ -23,6 +25,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kvclient"
+	"repro/internal/kvserver"
 	"repro/internal/locks"
 	"repro/internal/prng"
 	"repro/internal/shardedkv"
@@ -220,6 +224,41 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(stats.FormatSummaries(rows))
+
+	// Network epilogue: the same store served over TCP. Every request
+	// carries an SLO class byte, so one connection mixes interactive
+	// (big-class at the shard lock, admission bypass) and bulk
+	// (little-class, bounded per-shard in-flight) operations — the
+	// per-goroutine classing above becomes per-request classing here.
+	fmt.Println("\nnetwork front end (kvserver + kvclient):")
+	netStore := shardedkv.New(shardedkv.Config{Shards: numShards, NewLock: aslFactory})
+	srv, err := kvserver.New(kvserver.Config{
+		Store:          netStore,
+		SLOInteractive: 100 * time.Microsecond,
+		SLOBulk:        2 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	cl, err := kvclient.Dial(srv.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	cl.Put(kvserver.ClassInteractive, 1, []byte("interactive write"))
+	cl.Put(kvserver.ClassBulk, 2, []byte("bulk write"))
+	if v, ok, _ := cl.Get(kvserver.ClassInteractive, 2); ok {
+		fmt.Printf("  interactive read of a bulk write over TCP: %q\n", v)
+	}
+	if sst, err := cl.Stats(); err == nil {
+		fmt.Printf("  server saw %d interactive / %d bulk ops across %d shards\n",
+			sst.Interactive.Ops, sst.Bulk.Ops, sst.Shards)
+	}
+	cl.Close()
+	srv.Close()
+
 	fmt.Printf("\nreading: with spare cores and emulated asymmetry, libasl holds big\n" +
 		"P99 under sync-mutex's while little P99 stays bounded by the SLO —\n" +
 		"the paper's Fig. 4 trade, realised per shard instead of per global\n" +

@@ -1,0 +1,70 @@
+package core
+
+import "testing"
+
+// TestClassHint covers the per-operation class override: Class()
+// follows the hint, BaseClass never does, and clearing restores the
+// base class.
+func TestClassHint(t *testing.T) {
+	w := NewWorker(WorkerConfig{Class: Big})
+	if w.Class() != Big || w.BaseClass() != Big || w.ClassHinted() {
+		t.Fatalf("fresh worker: Class=%v BaseClass=%v hinted=%v", w.Class(), w.BaseClass(), w.ClassHinted())
+	}
+	w.SetClassHint(Little)
+	if w.Class() != Little {
+		t.Fatalf("hinted Little but Class() = %v", w.Class())
+	}
+	if w.BaseClass() != Big {
+		t.Fatalf("hint leaked into BaseClass: %v", w.BaseClass())
+	}
+	if !w.ClassHinted() {
+		t.Fatal("ClassHinted() false while hint installed")
+	}
+	w.ClearClassHint()
+	if w.Class() != Big || w.ClassHinted() {
+		t.Fatalf("after clear: Class=%v hinted=%v", w.Class(), w.ClassHinted())
+	}
+	// Re-hinting to the base class is a no-op for Class() but still a
+	// hint (BaseClass changes must not show through until cleared).
+	w.SetClassHint(Big)
+	w.SetClass(Little)
+	if w.Class() != Big {
+		t.Fatalf("hint Big over base Little: Class() = %v", w.Class())
+	}
+	w.ClearClassHint()
+	if w.Class() != Little {
+		t.Fatalf("after clear with base Little: Class() = %v", w.Class())
+	}
+}
+
+// TestClassHintDrivesEpochFeedback checks that EpochEnd keys its
+// window-update gate off the effective class: a Big-based worker whose
+// operation is hinted Little must drive the controller.
+func TestClassHintDrivesEpochFeedback(t *testing.T) {
+	now := int64(0)
+	clock := func() int64 { return now }
+	w := NewWorker(WorkerConfig{Class: Big, Clock: clock})
+	before := w.EpochWindow(0)
+
+	// Un-hinted Big: misses must NOT move the window.
+	for i := 0; i < 8; i++ {
+		w.EpochStart(0)
+		now += 1000
+		w.EpochEnd(0, 1) // latency far above SLO
+	}
+	if got := w.EpochWindow(0); got != before {
+		t.Fatalf("big-class epochs moved the window: %d -> %d", before, got)
+	}
+
+	// Hinted Little: the same misses must shrink the window.
+	w.SetClassHint(Little)
+	for i := 0; i < 8; i++ {
+		w.EpochStart(0)
+		now += 1000
+		w.EpochEnd(0, 1)
+	}
+	w.ClearClassHint()
+	if got := w.EpochWindow(0); got >= before {
+		t.Fatalf("little-hinted epochs left the window at %d (start %d)", got, before)
+	}
+}

@@ -1,0 +1,300 @@
+// Package kvclient is the concurrent, pipelining client for the
+// kvserver binary protocol (docs/protocol.md). One Client multiplexes
+// one TCP connection: any number of goroutines may issue requests
+// concurrently, each call blocks only its own goroutine, and requests
+// overlap on the wire (the response matcher pairs frames back to
+// callers by request id, so responses may be consumed out of order
+// even though today's server answers in order).
+//
+// Every operation takes the SLO class it should run under on the
+// server — kvserver.ClassInteractive maps to big-class lock admission,
+// kvserver.ClassBulk to little-class plus the bulk admission gate — so
+// the caller's latency contract rides on each request, not on any
+// connection-level state.
+package kvclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/kvserver"
+	"repro/internal/shardedkv"
+)
+
+// ErrClosed is returned by calls made after Close (or after the
+// connection failed).
+var ErrClosed = errors.New("kvclient: client closed")
+
+// StatusError is a non-OK response status from the server.
+type StatusError struct {
+	Status  uint8
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("kvclient: server error: %s (%s)", kvserver.StatusText(e.Status), e.Message)
+}
+
+// IsAdmissionRejected reports whether err is the server shedding a
+// bulk request at the admission gate (retry later, or re-issue as
+// interactive if the latency contract changed).
+func IsAdmissionRejected(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == kvserver.StatusErrAdmission
+}
+
+// pending is one in-flight call's completion slot.
+type pending struct {
+	ch chan result
+}
+
+type result struct {
+	resp  kvserver.Response
+	frame []byte // backing array of resp.Payload (owned by the receiver)
+	err   error
+}
+
+// Client is a multiplexed connection to one kvserver. Safe for
+// concurrent use; create with Dial, release with Close.
+type Client struct {
+	mu      sync.Mutex // guards conn writes, nextID, pending, closed
+	conn    net.Conn
+	bw      *bufio.Writer
+	nextID  uint64
+	pending map[uint64]*pending
+	closed  bool
+	readErr error
+	wbuf    []byte
+
+	pool sync.Pool // *pending
+}
+
+// Dial connects to a kvserver at addr and performs the protocol
+// handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write([]byte(kvserver.Magic)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]*pending),
+	}
+	c.pool.New = func() any { return &pending{ch: make(chan result, 1)} }
+	go c.readLoop()
+	return c, nil
+}
+
+// DialRetry dials addr, retrying on connection refusal until timeout —
+// for harnesses that race a just-started server.
+func DialRetry(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	err := c.conn.Close()
+	c.failAllLocked(ErrClosed)
+	c.mu.Unlock()
+	return err
+}
+
+// failAllLocked completes every pending call with err (c.mu held).
+func (c *Client) failAllLocked(err error) {
+	for id, p := range c.pending {
+		delete(c.pending, id)
+		p.ch <- result{err: err}
+	}
+}
+
+// readLoop is the response matcher: it owns the read side, pairing
+// response frames to pending calls by id. Each frame is read into a
+// fresh buffer whose ownership passes to the completed call.
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		frame, err := kvserver.ReadFrame(br, nil)
+		if err != nil {
+			c.mu.Lock()
+			if !c.closed {
+				c.closed = true
+				c.readErr = err
+				c.conn.Close()
+			}
+			c.failAllLocked(c.readErr)
+			c.mu.Unlock()
+			return
+		}
+		resp, err := kvserver.DecodeResponse(frame)
+		if err != nil {
+			continue // unmatchable frame; the call times out with the conn
+		}
+		c.mu.Lock()
+		p := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if p != nil {
+			p.ch <- result{resp: resp, frame: frame}
+		}
+	}
+}
+
+// roundTrip encodes req (id assigned here), pipelines it onto the
+// connection, and blocks until its response arrives.
+func (c *Client) roundTrip(req *kvserver.Request) (kvserver.Response, error) {
+	p := c.pool.Get().(*pending)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.pool.Put(p)
+		if c.readErr != nil {
+			return kvserver.Response{}, c.readErr
+		}
+		return kvserver.Response{}, ErrClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	buf, err := kvserver.AppendRequest(c.wbuf[:0], req)
+	if err != nil {
+		c.mu.Unlock()
+		c.pool.Put(p)
+		return kvserver.Response{}, err
+	}
+	c.wbuf = buf
+	c.pending[req.ID] = p
+	_, werr := c.bw.Write(buf)
+	if werr == nil {
+		// Flush before releasing the lock: correct pipelining would
+		// only flush when no other writer is queued, but tracking that
+		// costs more than the write — and concurrent callers still
+		// overlap request and response on the wire.
+		werr = c.bw.Flush()
+	}
+	if werr != nil {
+		// If the response somehow raced in before the write error
+		// surfaced (partial flush), the slot is already unregistered
+		// and carries a token — fall through and consume it.
+		if _, registered := c.pending[req.ID]; registered {
+			delete(c.pending, req.ID)
+			c.mu.Unlock()
+			c.pool.Put(p)
+			return kvserver.Response{}, werr
+		}
+	}
+	c.mu.Unlock()
+
+	res := <-p.ch
+	c.pool.Put(p)
+	if res.err != nil {
+		return kvserver.Response{}, res.err
+	}
+	if res.resp.Status != kvserver.StatusOK {
+		return res.resp, &StatusError{Status: res.resp.Status, Message: string(res.resp.Payload)}
+	}
+	return res.resp, nil
+}
+
+// Get reads key k under class.
+func (c *Client) Get(class uint8, k uint64) ([]byte, bool, error) {
+	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpGet, Class: class, Key: k})
+	if err != nil {
+		return nil, false, err
+	}
+	return kvserver.DecodeGetPayload(resp.Payload)
+}
+
+// Put stores k=v under class; reports insert-vs-replace. v is not
+// retained after the call returns.
+func (c *Client) Put(class uint8, k uint64, v []byte) (bool, error) {
+	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpPut, Class: class, Key: k, Value: v})
+	if err != nil {
+		return false, err
+	}
+	return kvserver.DecodeBoolPayload(resp.Payload)
+}
+
+// Delete removes k under class; reports presence.
+func (c *Client) Delete(class uint8, k uint64) (bool, error) {
+	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpDelete, Class: class, Key: k})
+	if err != nil {
+		return false, err
+	}
+	return kvserver.DecodeBoolPayload(resp.Payload)
+}
+
+// MultiGet reads all keys in one request under class.
+func (c *Client) MultiGet(class uint8, keys []uint64) ([][]byte, []bool, error) {
+	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpMultiGet, Class: class, Keys: keys})
+	if err != nil {
+		return nil, nil, err
+	}
+	return kvserver.DecodeMultiGetPayload(resp.Payload)
+}
+
+// MultiPut writes all pairs in one request under class; returns the
+// number newly inserted.
+func (c *Client) MultiPut(class uint8, kvs []shardedkv.KV) (int, error) {
+	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpMultiPut, Class: class, KVs: kvs})
+	if err != nil {
+		return 0, err
+	}
+	return kvserver.DecodeMultiPutPayload(resp.Payload)
+}
+
+// Range returns pairs in [lo, hi] in ascending key order, at most
+// limit of them (limit 0 = the server's cap). more reports a
+// truncated emission — continue from kvs[len(kvs)-1].Key+1.
+func (c *Client) Range(class uint8, lo, hi uint64, limit int) (kvs []shardedkv.KV, more bool, err error) {
+	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpRange, Class: class, Lo: lo, Hi: hi, Limit: uint32(limit)})
+	if err != nil {
+		return nil, false, err
+	}
+	kvs, err = kvserver.DecodeRangePayload(resp.Payload)
+	return kvs, resp.Flags&kvserver.FlagMore != 0, err
+}
+
+// Flush drives the server-side write barrier (meaningful when the
+// server runs the combining pipeline).
+func (c *Client) Flush(class uint8) error {
+	_, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpFlush, Class: class})
+	return err
+}
+
+// Stats fetches the server's aggregate stats.
+func (c *Client) Stats() (kvserver.ServerStats, error) {
+	var st kvserver.ServerStats
+	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpStats, Class: kvserver.ClassInteractive})
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(resp.Payload, &st); err != nil {
+		return st, fmt.Errorf("kvclient: stats payload: %w", err)
+	}
+	return st, nil
+}

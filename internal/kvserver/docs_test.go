@@ -1,0 +1,89 @@
+package kvserver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoFile reads a file relative to the repository root.
+func repoFile(t *testing.T, rel string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatalf("missing %s: %v (the docs are part of the protocol contract)", rel, err)
+	}
+	return string(data)
+}
+
+// TestProtocolDocMatchesCode pins docs/protocol.md to the codec: every
+// opcode, class and status byte must appear in the spec with its
+// exact value, the magic and the limits must match, and renumbering
+// anything here without touching the doc fails CI.
+func TestProtocolDocMatchesCode(t *testing.T) {
+	doc := repoFile(t, "docs/protocol.md")
+
+	row := func(name string, val uint8) string {
+		return fmt.Sprintf("| `%s` | `0x%02x` |", name, val)
+	}
+	wantRows := map[string]uint8{
+		"OpGet":              OpGet,
+		"OpPut":              OpPut,
+		"OpDelete":           OpDelete,
+		"OpMultiGet":         OpMultiGet,
+		"OpMultiPut":         OpMultiPut,
+		"OpRange":            OpRange,
+		"OpFlush":            OpFlush,
+		"OpStats":            OpStats,
+		"ClassInteractive":   ClassInteractive,
+		"ClassBulk":          ClassBulk,
+		"StatusOK":           StatusOK,
+		"StatusErrMalformed": StatusErrMalformed,
+		"StatusErrUnknownOp": StatusErrUnknownOp,
+		"StatusErrAdmission": StatusErrAdmission,
+		"StatusErrTooLarge":  StatusErrTooLarge,
+		"StatusErrShutdown":  StatusErrShutdown,
+	}
+	for name, val := range wantRows {
+		if !strings.Contains(doc, row(name, val)) {
+			t.Errorf("docs/protocol.md lacks the row %q — spec and code drifted", row(name, val))
+		}
+	}
+
+	if !strings.Contains(doc, fmt.Sprintf("%q", Magic)) {
+		t.Errorf("docs/protocol.md does not state the magic %q", Magic)
+	}
+	limits := map[string]string{
+		"MaxFrame":      "`1<<24`",
+		"MaxBatchOps":   "`1<<16`",
+		"MaxValueLen":   "`1<<20`",
+		"MaxRangePairs": "`1<<16`",
+	}
+	// Keep the table literals honest against the real constants.
+	if MaxFrame != 1<<24 || MaxBatchOps != 1<<16 || MaxValueLen != 1<<20 || MaxRangePairs != 1<<16 {
+		t.Error("protocol limit constants changed: update docs/protocol.md and this test together")
+	}
+	for name, lit := range limits {
+		if !strings.Contains(doc, fmt.Sprintf("| `%s` | %s |", name, lit)) {
+			t.Errorf("docs/protocol.md limits table lacks %s = %s", name, lit)
+		}
+	}
+}
+
+// TestArchitectureDocCoversServingPath keeps ARCHITECTURE.md honest
+// about the layers it promises to explain.
+func TestArchitectureDocCoversServingPath(t *testing.T) {
+	doc := repoFile(t, "ARCHITECTURE.md")
+	for _, want := range []string{
+		"kvclient", "kvserver", "admission", "shard map", "ASL",
+		"combiner", "docs/protocol.md", "ClassHint",
+		// The contributor-guide sections.
+		"add an engine", "add a lock", "add a mix",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("ARCHITECTURE.md does not mention %q", want)
+		}
+	}
+}

@@ -1,0 +1,506 @@
+package kvserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shardedkv"
+	"repro/internal/stats"
+)
+
+// Epoch ids the server uses for per-request SLO epochs: one epoch per
+// SLO class, so each class's AIMD controller learns its own reorder
+// window from its own latency feedback.
+const (
+	epochInteractive = 0
+	epochBulk        = 1
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the served store (required).
+	Store *shardedkv.Store
+	// Async, if non-nil, routes operations through the combining
+	// pipeline instead of per-op locking: interactive requests elect
+	// and combine, bulk requests enqueue and park. It must wrap Store.
+	Async *shardedkv.AsyncStore
+	// SLOInteractive and SLOBulk are the per-class latency SLOs. A
+	// positive value wraps each request of that class in an SLO epoch
+	// (EpochStart/EpochEnd with the class's epoch id), so ASL shard
+	// locks learn a per-class reorder window from per-request
+	// feedback. 0 disables epochs for that class.
+	SLOInteractive, SLOBulk time.Duration
+	// Admission bounds in-flight bulk operations (see AdmissionConfig;
+	// the zero value enables the gate with defaults, BulkPerShard < 0
+	// disables it).
+	Admission AdmissionConfig
+}
+
+// Server serves the binary protocol over TCP. One goroutine per
+// connection decodes, executes and responds in request order;
+// concurrency across the store comes from concurrent connections.
+// Requests are executed on a per-connection core.Worker whose class is
+// HINTED per request from the wire class byte — the ClassHint path —
+// so one connection may interleave interactive and bulk operations and
+// each still reaches the shard lock under its own class.
+type Server struct {
+	st    *shardedkv.Store
+	async *shardedkv.AsyncStore
+	sloI  int64
+	sloB  int64
+	adm   *admission
+
+	ln     net.Listener
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	conns     map[*serverConn]struct{}
+	retired   *stats.ClassedRecorder // recorders of closed connections
+	accepted  atomic.Uint64
+	errs      [2]atomic.Uint64 // error responses by class
+	badConns  atomic.Uint64    // connections dropped for protocol violations
+	truncates atomic.Uint64    // Range responses clamped to MaxRangePairs
+}
+
+// New builds a server over cfg.Store (and cfg.Async when set).
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("kvserver: Config.Store is required")
+	}
+	if cfg.Async != nil && cfg.Async.Store() != cfg.Store {
+		return nil, errors.New("kvserver: Config.Async does not wrap Config.Store")
+	}
+	return &Server{
+		st:      cfg.Store,
+		async:   cfg.Async,
+		sloI:    int64(cfg.SLOInteractive),
+		sloB:    int64(cfg.SLOBulk),
+		adm:     newAdmission(cfg.Admission),
+		conns:   make(map[*serverConn]struct{}),
+		retired: stats.NewClassedRecorder(),
+	}, nil
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
+// background goroutine. Use Addr for the bound address and Close to
+// shut down.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close shuts the server down gracefully: stop accepting, let every
+// connection finish its in-flight request (read sides are closed, so
+// handlers fall out of their read loop after responding), and wait for
+// all handlers to return. Safe to call more than once.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for sc := range s.conns {
+		// Closing only the read side lets the handler finish writing
+		// its current response before it notices and exits.
+		if tc, ok := sc.c.(*net.TCPConn); ok {
+			tc.CloseRead()
+		} else {
+			sc.c.Close()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed (Close) or fatal
+		}
+		sc := &serverConn{c: c, rec: stats.NewClassedRecorder()}
+		// Registration re-checks closed under the same mutex Close
+		// iterates under: Close sets the flag BEFORE it walks the
+		// conn set, so either this conn lands in the walk (and gets
+		// its read side closed) or it observes the flag here and
+		// never starts — a conn accepted concurrently with Close can
+		// not slip past both and leave Close stuck in wg.Wait.
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go s.handle(sc)
+	}
+}
+
+// serverConn is one connection's state. rec is guarded by mu: the
+// handler records into it, Stats() snapshots it concurrently.
+type serverConn struct {
+	c   net.Conn
+	mu  sync.Mutex
+	rec *stats.ClassedRecorder
+}
+
+func (sc *serverConn) record(class core.Class, latencyNs int64, ops uint64) {
+	sc.mu.Lock()
+	sc.rec.RecordBatch(class, latencyNs, ops)
+	sc.mu.Unlock()
+}
+
+// handle runs one connection to completion.
+func (s *Server) handle(sc *serverConn) {
+	defer s.wg.Done()
+	defer func() {
+		sc.c.Close()
+		s.mu.Lock()
+		sc.mu.Lock()
+		s.retired.Merge(sc.rec)
+		sc.rec = stats.NewClassedRecorder()
+		sc.mu.Unlock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(sc.c, 64<<10)
+	bw := bufio.NewWriterSize(sc.c, 64<<10)
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != Magic {
+		s.badConns.Add(1)
+		return
+	}
+
+	// The per-connection worker. Base class is irrelevant: every
+	// request installs its own class hint before touching the store.
+	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+
+	var frame, out []byte
+	for {
+		// Classic pipelining flush: only pay the syscall when about to
+		// block on an empty input buffer.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		var err error
+		frame, err = ReadFrame(br, frame)
+		if err != nil {
+			// Clean EOF or any framing violation: drop the connection
+			// (a broken length prefix poisons the whole stream — there
+			// is no resynchronising inside it).
+			if !errors.Is(err, io.EOF) {
+				s.badConns.Add(1)
+			}
+			return
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			// The stream is still framed (the frame read fine), so a
+			// malformed PAYLOAD gets an in-stream error response.
+			s.errs[lockClassOf(req.Class)].Add(1)
+			out, err = AppendErrorResponse(out[:0], req.ID, StatusErrMalformed, err.Error())
+			if err != nil || writeAll(bw, out) != nil {
+				return
+			}
+			continue
+		}
+		out, err = s.execute(w, sc, &req, out[:0])
+		if err != nil || writeAll(bw, out) != nil {
+			return
+		}
+	}
+}
+
+func writeAll(bw *bufio.Writer, b []byte) error {
+	_, err := bw.Write(b)
+	return err
+}
+
+// lockClassOf maps the wire class byte to the lock class: interactive
+// requests act big (lock fast path, elect/combine/spin), bulk requests
+// act little (reorder standby, enqueue/park).
+func lockClassOf(class uint8) core.Class {
+	if class == ClassBulk {
+		return core.Little
+	}
+	return core.Big
+}
+
+// execute runs one request and appends its response frame to out. The
+// error return is for encoding failures only (they poison the stream);
+// per-request errors become error-status responses.
+func (s *Server) execute(w *core.Worker, sc *serverConn, req *Request, out []byte) ([]byte, error) {
+	if s.closed.Load() {
+		return AppendErrorResponse(out, req.ID, StatusErrShutdown, StatusText(StatusErrShutdown))
+	}
+	lc := lockClassOf(req.Class)
+
+	// Stats is an admin op: no class mapping, no gate, no recording.
+	if req.Op == OpStats {
+		body, err := json.Marshal(s.Stats())
+		if err != nil {
+			return AppendErrorResponse(out, req.ID, StatusErrMalformed, err.Error())
+		}
+		return AppendStatsResponse(out, req.ID, body)
+	}
+
+	// Class-aware admission: bulk ops pass the bounded gate,
+	// interactive ops bypass it.
+	if s.adm != nil && req.Class == ClassBulk {
+		shard := globalGate
+		switch req.Op {
+		case OpGet, OpPut, OpDelete:
+			shard = s.st.ShardOf(req.Key)
+		}
+		g, ok := s.adm.enter(shard)
+		if !ok {
+			s.errs[lc].Add(1)
+			return AppendErrorResponse(out, req.ID, StatusErrAdmission, StatusText(StatusErrAdmission))
+		}
+		defer s.adm.exit(g)
+	}
+
+	// The ClassHint path: the request's SLO class becomes the worker's
+	// effective class for exactly this operation, steering the shard
+	// lock's admission policy, combiner election, spin-vs-park waiting
+	// and the CSPad keying. An SLO-configured class additionally runs
+	// inside its class's epoch, so ASL locks learn per-class reorder
+	// windows from per-request latency feedback.
+	w.SetClassHint(lc)
+	epoch, slo := -1, int64(0)
+	if req.Class == ClassBulk && s.sloB > 0 {
+		epoch, slo = epochBulk, s.sloB
+	} else if req.Class == ClassInteractive && s.sloI > 0 {
+		epoch, slo = epochInteractive, s.sloI
+	}
+	if epoch >= 0 {
+		w.EpochStart(epoch)
+	}
+	start := w.Now()
+
+	var encErr error
+	ops := uint64(1)
+	switch req.Op {
+	case OpGet:
+		var v []byte
+		var ok bool
+		if s.async != nil {
+			v, ok = s.async.Get(w, req.Key)
+		} else {
+			v, ok = s.st.Get(w, req.Key)
+		}
+		out, encErr = AppendGetResponse(out, req.ID, v, ok)
+	case OpPut:
+		// The decoded value aliases the connection's frame buffer,
+		// which the next ReadFrame reuses; the store retains values by
+		// reference, so copy before storing.
+		v := append([]byte(nil), req.Value...)
+		var ok bool
+		if s.async != nil {
+			ok = s.async.Put(w, req.Key, v)
+		} else {
+			ok = s.st.Put(w, req.Key, v)
+		}
+		out, encErr = AppendBoolResponse(out, req.ID, ok)
+	case OpDelete:
+		var ok bool
+		if s.async != nil {
+			ok = s.async.Delete(w, req.Key)
+		} else {
+			ok = s.st.Delete(w, req.Key)
+		}
+		out, encErr = AppendBoolResponse(out, req.ID, ok)
+	case OpMultiGet:
+		var vals [][]byte
+		var found []bool
+		if s.async != nil {
+			vals, found = s.async.MultiGet(w, req.Keys)
+		} else {
+			vals, found = s.st.MultiGet(w, req.Keys)
+		}
+		ops = uint64(len(req.Keys))
+		out, encErr = AppendMultiGetResponse(out, req.ID, vals, found)
+	case OpMultiPut:
+		kvs := make([]shardedkv.KV, len(req.KVs))
+		for i, kv := range req.KVs {
+			kvs[i] = shardedkv.KV{Key: kv.Key, Value: append([]byte(nil), kv.Value...)}
+		}
+		var inserted int
+		if s.async != nil {
+			inserted = s.async.MultiPut(w, kvs)
+		} else {
+			inserted = s.st.MultiPut(w, kvs)
+		}
+		ops = uint64(len(kvs))
+		out, encErr = AppendMultiPutResponse(out, req.ID, inserted)
+	case OpRange:
+		limit := int(req.Limit)
+		if limit <= 0 || limit > MaxRangePairs {
+			limit = MaxRangePairs
+		}
+		kvs := make([]shardedkv.KV, 0, min(limit, 64))
+		more := false
+		collect := func(k uint64, v []byte) bool {
+			if len(kvs) == limit {
+				more = true
+				return false
+			}
+			kvs = append(kvs, shardedkv.KV{Key: k, Value: v})
+			return true
+		}
+		if s.async != nil {
+			s.async.Range(w, req.Lo, req.Hi, collect)
+		} else {
+			s.st.Range(w, req.Lo, req.Hi, collect)
+		}
+		if more {
+			s.truncates.Add(1)
+		}
+		ops = uint64(max(len(kvs), 1))
+		out, encErr = AppendRangeResponse(out, req.ID, kvs, more)
+	case OpFlush:
+		if s.async != nil {
+			s.async.Flush(w)
+		}
+		out, encErr = AppendEmptyResponse(out, req.ID)
+	default:
+		if epoch >= 0 {
+			w.EpochEnd(epoch, slo)
+		}
+		w.ClearClassHint()
+		s.errs[lc].Add(1)
+		return AppendErrorResponse(out, req.ID, StatusErrUnknownOp, fmt.Sprintf("opcode 0x%02x", req.Op))
+	}
+
+	lat := w.Now() - start
+	if epoch >= 0 {
+		w.EpochEnd(epoch, slo)
+	}
+	w.ClearClassHint()
+	if encErr != nil {
+		// The response was too large to frame (a Range at the caps can
+		// exceed MaxFrame). Report in-stream; the request itself
+		// already executed.
+		s.errs[lc].Add(1)
+		return AppendErrorResponse(out[:0], req.ID, StatusErrTooLarge, encErr.Error())
+	}
+	sc.record(lc, lat, ops)
+	return out, nil
+}
+
+// ClassServerStats is one SLO class's server-side view.
+type ClassServerStats struct {
+	// Ops counts completed operations (batch elements and scanned
+	// pairs count individually, like kvbench's ops/s unit).
+	Ops uint64 `json:"ops"`
+	// Errors counts error-status responses sent to this class.
+	Errors uint64 `json:"errors"`
+	// P50Ns/P99Ns are request-latency percentiles in nanoseconds,
+	// measured around store execution (decode and socket time
+	// excluded).
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// ServerStats is the server's aggregate view, JSON-encoded verbatim as
+// the Stats response body.
+type ServerStats struct {
+	Interactive ClassServerStats `json:"interactive"`
+	Bulk        ClassServerStats `json:"bulk"`
+	// BulkInFlight/BulkWaiting are the admission gate's current queue
+	// depths; BulkWaited/BulkRejected its cumulative outcomes.
+	BulkInFlight int64  `json:"bulk_inflight"`
+	BulkWaiting  int64  `json:"bulk_waiting"`
+	BulkWaited   uint64 `json:"bulk_waited"`
+	BulkRejected uint64 `json:"bulk_rejected"`
+	// Conns is the live connection count; Accepted the lifetime total;
+	// BadConns the connections dropped for protocol violations.
+	Conns    int    `json:"conns"`
+	Accepted uint64 `json:"accepted"`
+	BadConns uint64 `json:"bad_conns"`
+	// RangeTruncations counts Range responses clamped to
+	// MaxRangePairs.
+	RangeTruncations uint64 `json:"range_truncations"`
+	// Shards/MapEpoch snapshot the served store's placement.
+	Shards   int    `json:"shards"`
+	MapEpoch uint64 `json:"map_epoch"`
+}
+
+// Stats snapshots the server's counters: per-class ops and latency
+// percentiles merged across live and closed connections, admission
+// depths and outcomes, and the store's shard layout.
+func (s *Server) Stats() ServerStats {
+	merged := stats.NewClassedRecorder()
+	s.mu.Lock()
+	merged.Merge(s.retired)
+	live := len(s.conns)
+	for sc := range s.conns {
+		sc.mu.Lock()
+		merged.Merge(sc.rec)
+		sc.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	st := ServerStats{
+		Interactive: ClassServerStats{
+			Ops:    merged.Ops(core.Big),
+			Errors: s.errs[core.Big].Load(),
+			P50Ns:  merged.ByClass(core.Big).P50(),
+			P99Ns:  merged.ByClass(core.Big).P99(),
+		},
+		Bulk: ClassServerStats{
+			Ops:    merged.Ops(core.Little),
+			Errors: s.errs[core.Little].Load(),
+			P50Ns:  merged.ByClass(core.Little).P50(),
+			P99Ns:  merged.ByClass(core.Little).P99(),
+		},
+		Conns:            live,
+		Accepted:         s.accepted.Load(),
+		BadConns:         s.badConns.Load(),
+		RangeTruncations: s.truncates.Load(),
+		Shards:           s.st.NumShards(),
+		MapEpoch:         s.st.MapEpoch(),
+	}
+	if s.adm != nil {
+		a := s.adm.stats()
+		st.BulkInFlight = a.InFlight
+		st.BulkWaiting = a.Waiting
+		st.BulkWaited = a.Waited
+		st.BulkRejected = a.Rejected
+	}
+	return st
+}

@@ -1,0 +1,67 @@
+package locks
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestClassProbeObservesHint drives one probe-wrapped lock of every
+// factory family with a Big-based worker, hinting half the
+// acquisitions Little, and asserts the probe saw the EFFECTIVE class —
+// the per-operation ClassHint contract the serving layer's class
+// mapping rests on.
+func TestClassProbeObservesHint(t *testing.T) {
+	factories := map[string]Factory{
+		"asl":     FactoryASL(),
+		"mutex":   FactorySyncMutex(),
+		"mcs":     FactoryMCS(),
+		"pthread": FactoryPthread(),
+		"ticket":  FactoryTicket(),
+	}
+	for name, f := range factories {
+		t.Run(name, func(t *testing.T) {
+			l := WithClassProbe(f())
+			w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+			for i := 0; i < 10; i++ {
+				if i%2 == 1 {
+					w.SetClassHint(core.Little)
+				}
+				l.Acquire(w)
+				l.Release(w)
+				w.ClearClassHint()
+			}
+			st := l.Stats()
+			if st.BigAcquires != 5 || st.LittleAcquires != 5 {
+				t.Fatalf("probe saw big=%d little=%d, want 5/5", st.BigAcquires, st.LittleAcquires)
+			}
+		})
+	}
+}
+
+// TestClassProbeTryAcquire checks the win/lose accounting: a held lock
+// fails the try (counted) and a free one succeeds under the observed
+// class.
+func TestClassProbeTryAcquire(t *testing.T) {
+	l := WithClassProbe(FactorySyncMutex()())
+	wa := core.NewWorker(core.WorkerConfig{Class: core.Big})
+	wb := core.NewWorker(core.WorkerConfig{Class: core.Little})
+
+	l.Acquire(wa)
+	if l.TryAcquire(wb) {
+		t.Fatal("TryAcquire succeeded on a held lock")
+	}
+	l.Release(wa)
+	if !l.TryAcquire(wb) {
+		t.Fatal("TryAcquire failed on a free lock")
+	}
+	l.Release(wb)
+
+	st := l.Stats()
+	if st.TryFailed != 1 {
+		t.Fatalf("TryFailed = %d, want 1", st.TryFailed)
+	}
+	if st.BigAcquires != 1 || st.LittleAcquires != 1 {
+		t.Fatalf("acquires big=%d little=%d, want 1/1", st.BigAcquires, st.LittleAcquires)
+	}
+}

@@ -1,0 +1,212 @@
+package shardedkv
+
+import "repro/internal/core"
+
+// This file provides the op-level class override surface: views of
+// Store and AsyncStore whose every operation runs under a fixed
+// core.Class regardless of the worker's base class. The mechanism is
+// the per-operation ClassHint on core.Worker — the view installs the
+// hint, runs the operation, and restores the worker's previous hint
+// state — so the override reaches every class consumer on the path:
+// the shard lock's acquire policy (ASL big/little admission), combiner
+// election cadence and spin-vs-park waiting in the pipeline, epoch
+// feedback, and the CSPad keying.
+//
+// This is the serving-boundary contract of the network front end
+// (internal/kvserver): one connection-handler goroutine owns one
+// worker but serves requests of BOTH SLO classes, so class must ride
+// on the operation, not the goroutine. Views are values (two words);
+// make them on the fly: st.As(core.Little).Put(w, k, v).
+
+// classScope saves a worker's hint state and installs an override.
+// Restore with restore() — NOT a defer in hot paths; call it on every
+// return path (the ops below have exactly one).
+type classScope struct {
+	w      *core.Worker
+	hinted bool
+	prev   core.Class
+}
+
+func enterClass(w *core.Worker, c core.Class) classScope {
+	s := classScope{w: w, hinted: w.ClassHinted(), prev: w.Class()}
+	w.SetClassHint(c)
+	return s
+}
+
+func (s classScope) restore() {
+	if s.hinted {
+		s.w.SetClassHint(s.prev)
+	} else {
+		s.w.ClearClassHint()
+	}
+}
+
+// ClassedStore is a Store view whose operations run as a fixed class.
+type ClassedStore struct {
+	s *Store
+	c core.Class
+}
+
+// As returns a view of the store whose operations run with the
+// worker's class overridden to c for the operation's duration.
+func (s *Store) As(c core.Class) ClassedStore { return ClassedStore{s: s, c: c} }
+
+// Store returns the underlying store.
+func (v ClassedStore) Store() *Store { return v.s }
+
+// Class returns the view's class.
+func (v ClassedStore) Class() core.Class { return v.c }
+
+// Get reads k as the view's class.
+func (v ClassedStore) Get(w *core.Worker, k uint64) ([]byte, bool) {
+	sc := enterClass(w, v.c)
+	val, ok := v.s.Get(w, k)
+	sc.restore()
+	return val, ok
+}
+
+// Put stores k=v as the view's class; reports insert-vs-replace.
+func (v ClassedStore) Put(w *core.Worker, k uint64, val []byte) bool {
+	sc := enterClass(w, v.c)
+	ok := v.s.Put(w, k, val)
+	sc.restore()
+	return ok
+}
+
+// Delete removes k as the view's class; reports presence.
+func (v ClassedStore) Delete(w *core.Worker, k uint64) bool {
+	sc := enterClass(w, v.c)
+	ok := v.s.Delete(w, k)
+	sc.restore()
+	return ok
+}
+
+// MultiGet reads all keys as the view's class.
+func (v ClassedStore) MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool) {
+	sc := enterClass(w, v.c)
+	vals, ok := v.s.MultiGet(w, keys)
+	sc.restore()
+	return vals, ok
+}
+
+// MultiPut writes all pairs as the view's class.
+func (v ClassedStore) MultiPut(w *core.Worker, kvs []KV) int {
+	sc := enterClass(w, v.c)
+	n := v.s.MultiPut(w, kvs)
+	sc.restore()
+	return n
+}
+
+// Range scans [lo, hi] as the view's class. fn runs inside the scope
+// (collection has already released every shard lock when it runs).
+func (v ClassedStore) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	sc := enterClass(w, v.c)
+	v.s.Range(w, lo, hi, fn)
+	sc.restore()
+}
+
+// MultiRange executes all range requests as the view's class.
+func (v ClassedStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
+	sc := enterClass(w, v.c)
+	out := v.s.MultiRange(w, reqs)
+	sc.restore()
+	return out
+}
+
+// ClassedAsync is an AsyncStore view whose submissions run as a fixed
+// class: the class governs election cadence, spin-vs-park waiting and
+// the drain bound if this worker combines — exactly what distinguishes
+// an interactive request (elect/combine/spin) from a bulk one
+// (enqueue/park) at the serving boundary.
+type ClassedAsync struct {
+	a *AsyncStore
+	c core.Class
+}
+
+// As returns a view of the async store whose operations run with the
+// worker's class overridden to c.
+func (a *AsyncStore) As(c core.Class) ClassedAsync { return ClassedAsync{a: a, c: c} }
+
+// Async returns the underlying AsyncStore.
+func (v ClassedAsync) Async() *AsyncStore { return v.a }
+
+// Class returns the view's class.
+func (v ClassedAsync) Class() core.Class { return v.c }
+
+// Get reads k through the pipeline as the view's class.
+func (v ClassedAsync) Get(w *core.Worker, k uint64) ([]byte, bool) {
+	sc := enterClass(w, v.c)
+	val, ok := v.a.Get(w, k)
+	sc.restore()
+	return val, ok
+}
+
+// Put stores k=v through the pipeline as the view's class.
+func (v ClassedAsync) Put(w *core.Worker, k uint64, val []byte) bool {
+	sc := enterClass(w, v.c)
+	ok := v.a.Put(w, k, val)
+	sc.restore()
+	return ok
+}
+
+// Delete removes k through the pipeline as the view's class.
+func (v ClassedAsync) Delete(w *core.Worker, k uint64) bool {
+	sc := enterClass(w, v.c)
+	ok := v.a.Delete(w, k)
+	sc.restore()
+	return ok
+}
+
+// PutAsync submits a fire-and-forget put as the view's class.
+func (v ClassedAsync) PutAsync(w *core.Worker, k uint64, val []byte) {
+	sc := enterClass(w, v.c)
+	v.a.PutAsync(w, k, val)
+	sc.restore()
+}
+
+// DeleteAsync submits a fire-and-forget delete as the view's class.
+func (v ClassedAsync) DeleteAsync(w *core.Worker, k uint64) {
+	sc := enterClass(w, v.c)
+	v.a.DeleteAsync(w, k)
+	sc.restore()
+}
+
+// MultiGet reads all keys through the pipeline as the view's class.
+func (v ClassedAsync) MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool) {
+	sc := enterClass(w, v.c)
+	vals, ok := v.a.MultiGet(w, keys)
+	sc.restore()
+	return vals, ok
+}
+
+// MultiPut writes all pairs through the pipeline as the view's class.
+func (v ClassedAsync) MultiPut(w *core.Worker, kvs []KV) int {
+	sc := enterClass(w, v.c)
+	n := v.a.MultiPut(w, kvs)
+	sc.restore()
+	return n
+}
+
+// Range scans [lo, hi] through the pipeline as the view's class.
+func (v ClassedAsync) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool) {
+	sc := enterClass(w, v.c)
+	v.a.Range(w, lo, hi, fn)
+	sc.restore()
+}
+
+// MultiRange executes all range requests through the pipeline as the
+// view's class.
+func (v ClassedAsync) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
+	sc := enterClass(w, v.c)
+	out := v.a.MultiRange(w, reqs)
+	sc.restore()
+	return out
+}
+
+// Flush drives the write barrier as the view's class (the class
+// governs the combining the flush itself performs).
+func (v ClassedAsync) Flush(w *core.Worker) {
+	sc := enterClass(w, v.c)
+	v.a.Flush(w)
+	sc.restore()
+}
