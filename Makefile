@@ -9,7 +9,9 @@ GOFMT ?= gofmt
 # under shared locks: the root benchmarks, the lock algorithms and
 # their core feedback state, the sharded KV layer (including the
 # flat-combining pipeline), the storage engines the shard locks guard,
-# and the workload/stats/harness/db plumbing the benches drive.
+# the workload/stats/harness/db plumbing the benches drive, and the
+# discrete-event kernel (goroutine-backed simulated threads) with the
+# AMP cost model that runs on it.
 RACE_PKGS = . \
 	./internal/core \
 	./internal/locks \
@@ -22,17 +24,30 @@ RACE_PKGS = . \
 	./internal/harness \
 	./internal/dbs \
 	./internal/dbbench \
-	./internal/simlock
+	./internal/simlock \
+	./internal/sim \
+	./internal/amp
 
-.PHONY: check build vet fmt-check test short race ci bench bench-json net-smoke
+# The repo's own multichecker (see internal/analysis): custom vet
+# passes that machine-check the concurrency contracts documented in
+# ARCHITECTURE.md ("Enforced invariants"). Built once into bin/ so CI
+# steps and repeated local runs reuse the binary (and Go's build cache
+# makes the rebuild a no-op when nothing changed).
+REPOLINT = bin/repolint
 
-check: vet fmt-check build test
+.PHONY: check build vet lint fmt-check test short race ci bench bench-json net-smoke
+
+check: vet lint fmt-check build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) build -o $(REPOLINT) ./cmd/repolint
+	$(GO) vet -vettool=$(REPOLINT) ./...
 
 fmt-check:
 	@unformatted=$$($(GOFMT) -l .); \

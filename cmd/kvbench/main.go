@@ -687,8 +687,8 @@ func currentCommit() string {
 func appendRecords(path string, recs []benchRecord) error {
 	var all []benchRecord
 	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
-		if err := json.Unmarshal(data, &all); err != nil {
-			return fmt.Errorf("existing trajectory %s is not a record array: %w", path, err)
+		if uerr := json.Unmarshal(data, &all); uerr != nil {
+			return fmt.Errorf("existing trajectory %s is not a record array: %w", path, uerr)
 		}
 	} else if err != nil && !os.IsNotExist(err) {
 		return err

@@ -66,10 +66,17 @@
 // — and appends {commit, engine, mix, lock, ops_per_sec, p99, ...}
 // records to BENCH_kvbench.json (cmd/kvbench/README.md documents
 // every flag, row family and the record schema).
-// .github/workflows/ci.yml gates every push on `make ci`: vet, gofmt,
-// build, tests, the race detector over RACE_PKGS, the -short smoke
-// paths, and net-smoke (a real server driven by a real client and
-// shut down by SIGTERM).
+// .github/workflows/ci.yml gates every push on `make ci`: vet, the
+// repolint contract checkers, gofmt, build, tests, the race detector
+// over RACE_PKGS, the -short smoke paths, and net-smoke (a real
+// server driven by a real client and shut down by SIGTERM).
+//
+// internal/analysis + cmd/repolint machine-check the concurrency
+// contracts the layers above rely on: ClassHint set/clear pairing,
+// the no-callbacks-under-a-shard-lock rule, the election-probe
+// convention, and append-only wire enums. `make lint` runs the suite
+// as a `go vet -vettool`; ARCHITECTURE.md ("Enforced invariants")
+// maps each pass to its prose rule.
 package repro
 
 // Version identifies this reproduction build.

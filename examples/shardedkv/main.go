@@ -240,7 +240,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	if err := srv.Listen("127.0.0.1:0"); err != nil {
+	if err = srv.Listen("127.0.0.1:0"); err != nil {
 		panic(err)
 	}
 	cl, err := kvclient.Dial(srv.Addr().String())

@@ -1,0 +1,158 @@
+// Package analysistest runs a repolint analyzer over a golden fixture
+// package and matches its diagnostics against `// want` expectations —
+// the stdlib counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of .go files (conventionally
+// testdata/src/<name>/ next to the analyzer's test). Each line that
+// should trigger a diagnostic carries a trailing comment of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// with one back-quoted (or double-quoted) regular expression per
+// expected diagnostic on that line. The test fails symmetrically: a
+// diagnostic with no matching expectation is "unexpected", an
+// expectation with no diagnostic is "unsatisfied".
+//
+// Fixtures must be import-free (they declare local stand-ins for
+// Worker, WLock, Store, ...): offline there is no exported package
+// data outside a real build, and self-contained fixtures keep each
+// case readable in one file anyway. The harness typechecks the fixture
+// fully, so stand-ins give the passes the same type information the
+// real tree would.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one `// want` regexp, keyed to its file and line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE splits a want comment's payload into quoted regexps.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run applies analyzers to the fixture package in dir and reports any
+// mismatch with the fixture's `// want` expectations on t.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			t.Fatalf("parsing fixture: %v", perr)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	// Importer-free typecheck: fixtures are self-contained by
+	// contract, so any import is a fixture bug.
+	conf := &types.Config{}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture (fixtures must be import-free and compile): %v", err)
+	}
+
+	diags, err := analysis.Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses every `// want` comment in the fixture.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRE.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: malformed want comment (no quoted regexp): %s", pos, c.Text)
+				}
+				for _, q := range quoted {
+					body := q[1 : len(q)-1]
+					if q[0] == '"' {
+						body = strings.ReplaceAll(body, `\"`, `"`)
+					}
+					re, err := regexp.Compile(body)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, q, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// regexp matches msg.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package analysis
+
+// Shared AST helpers for the repolint passes. Everything here is
+// deliberately syntactic-first: the analyzers must run both over the
+// real tree (full type information from export data) and over
+// self-contained analysistest fixtures (which re-declare stand-ins for
+// core.Worker, locks.WLock, etc.), so they key on method names and
+// type NAMES rather than on package paths.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MethodCall destructures a call of the form recv.Name(args...).
+// It returns ok=false for plain function calls and conversions.
+func MethodCall(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// ExprKey renders e as a canonical lock identity string: selector
+// chains print as written ("q.sh.lock"), and a trailing ".lock" field
+// is stripped so a region opened by sh.electTry(w) (which acquires
+// sh.lock) matches the closing sh.lock.Release(w). Expressions that
+// are not pure ident/selector chains (calls, indexing) get a unique
+// key and therefore never pair.
+func ExprKey(e ast.Expr) string {
+	s, pure := renderChain(e)
+	if !pure {
+		return fmt.Sprintf("<expr@%d>", e.Pos())
+	}
+	return strings.TrimSuffix(s, ".lock")
+}
+
+func renderChain(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		s, ok := renderChain(e.X)
+		return s + "." + e.Sel.Name, ok
+	case *ast.ParenExpr:
+		return renderChain(e.X)
+	}
+	return "", false
+}
+
+// NamedRecv resolves the named type of a method call's receiver
+// expression, dereferencing one pointer. Nil when the type is unnamed
+// or unknown.
+func NamedRecv(info *types.Info, recv ast.Expr) *types.Named {
+	if info == nil {
+		return nil
+	}
+	tv, ok := info.Types[recv]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// NamedRecvType is NamedRecv reduced to the bare type name.
+func NamedRecvType(info *types.Info, recv ast.Expr) string {
+	if n := NamedRecv(info, recv); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// FuncNodes calls fn for every function body in the file: declared
+// functions and methods (with their names) and function literals
+// (named ""). Literals nested inside a function are visited in
+// addition to — not instead of — the enclosing function's visit, so a
+// per-function analysis sees literal bodies twice; analyzers that care
+// use the node identity to dedupe or skip literals.
+func FuncNodes(file *ast.File, fn func(name string, ft *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Name.Name, n.Type, n.Body)
+			}
+		case *ast.FuncLit:
+			fn("", n.Type, n.Body)
+		}
+		return true
+	})
+}
+
+// FuncParamObjs collects the types.Object of every func-typed
+// parameter declared by ft — the "user callback" parameters whose
+// invocation under a lock the lockheldcall pass flags.
+func FuncParamObjs(info *types.Info, ft *ast.FuncType) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		if _, isFunc := field.Type.(*ast.FuncType); !isFunc {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}

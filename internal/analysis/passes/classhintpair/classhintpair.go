@@ -1,0 +1,208 @@
+// Package classhintpair enforces the per-operation ClassHint contract
+// from internal/core: a hint installed with SetClassHint is an
+// operation-scoped override, never goroutine state, so every
+// SetClassHint must be un-done inside the same function — either by a
+// deferred restore (defer w.ClearClassHint()) or by an explicit clear
+// that provably runs on every return path — and the hinted worker must
+// not be captured by a goroutine spawned while the hint is live.
+//
+// A leaked hint is the serving-boundary failure mode: the next request
+// on the connection would run under the previous request's SLO class,
+// silently steering lock admission, combiner election and epoch
+// feedback with a stale class. The race window is invisible to the
+// race detector (Worker is single-goroutine by design), which is why
+// this is a static check.
+package classhintpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the classhintpair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "classhintpair",
+	Doc:  "check that every SetClassHint is cleared on all return paths and never escapes into a goroutine",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncNodes(file, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+			checkFunc(pass, body)
+		})
+	}
+	return nil
+}
+
+// checkFunc checks one function body. Nested function literals are
+// opaque here (FuncNodes visits them as functions in their own right):
+// the pairing contract is per-function, because a literal outlives the
+// statement that creates it.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	lists := stmtLists(body)
+
+	// A deferred ClearClassHint (or SetClassHint restoring a saved
+	// value) anywhere in the function covers every return path.
+	hasDeferredRestore := false
+	for _, list := range lists {
+		for _, s := range list {
+			if d, ok := s.(*ast.DeferStmt); ok {
+				if _, name, ok := analysis.MethodCall(d.Call); ok && (name == "ClearClassHint" || name == "SetClassHint") {
+					hasDeferredRestore = true
+				}
+			}
+		}
+	}
+
+	for _, list := range lists {
+		for i, s := range list {
+			call, isSet := hintCall(s, "SetClassHint")
+			if !isSet {
+				continue
+			}
+			regionEnd := body.End()
+			if !hasDeferredRestore {
+				clearIdx := -1
+				for j := i + 1; j < len(list); j++ {
+					if _, ok := hintCall(list[j], "ClearClassHint"); ok {
+						clearIdx = j
+						break
+					}
+				}
+				if clearIdx < 0 {
+					pass.Reportf(call.Pos(), "SetClassHint is not paired with a defer ClearClassHint or a clear on all return paths in this function")
+				} else {
+					regionEnd = list[clearIdx].Pos()
+					// Every return between the set and its clear must
+					// itself sit behind a clear in its own block.
+					for j := i + 1; j < clearIdx; j++ {
+						ast.Inspect(list[j], func(n ast.Node) bool {
+							if _, ok := n.(*ast.FuncLit); ok {
+								return false
+							}
+							ret, ok := n.(*ast.ReturnStmt)
+							if !ok {
+								return true
+							}
+							if !returnCovered(lists, ret) {
+								pass.Reportf(call.Pos(), "SetClassHint may leak: return at line %d is not preceded by ClearClassHint",
+									pass.Fset.Position(ret.Pos()).Line)
+							}
+							return true
+						})
+					}
+				}
+			}
+			checkGoroutineEscape(pass, body, call, regionEnd)
+		}
+	}
+}
+
+// hintCall matches a statement of the form recv.<method>(...).
+func hintCall(s ast.Stmt, method string) (*ast.CallExpr, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	if _, name, ok := analysis.MethodCall(call); !ok || name != method {
+		return nil, false
+	}
+	return call, true
+}
+
+// returnCovered reports whether ret's innermost statement list
+// contains a ClearClassHint call before the return.
+func returnCovered(lists [][]ast.Stmt, ret *ast.ReturnStmt) bool {
+	for _, list := range lists {
+		for i, s := range list {
+			if s != ast.Stmt(ret) {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if _, ok := hintCall(list[j], "ClearClassHint"); ok {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// checkGoroutineEscape flags a go statement spawned while the hint
+// installed by set is still live (between the set and its clear, or
+// anywhere after the set in the defer form) whose function references
+// the hinted worker: the goroutine would observe — or race with — an
+// operation-scoped override on a single-goroutine Worker.
+func checkGoroutineEscape(pass *analysis.Pass, body *ast.BlockStmt, set *ast.CallExpr, regionEnd token.Pos) {
+	recv, _, _ := analysis.MethodCall(set)
+	target := leafObj(pass.TypesInfo, recv)
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if g.Pos() <= set.End() || g.Pos() >= regionEnd {
+			return true
+		}
+		if target == nil || referencesObj(pass.TypesInfo, g.Call, target) {
+			pass.Reportf(g.Pos(), "goroutine spawned while a ClassHint set at line %d is live may capture the hinted worker",
+				pass.Fset.Position(set.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// leafObj resolves the object a receiver chain ends in: the variable
+// for w.SetClassHint, the field for s.w.SetClassHint.
+func leafObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return leafObj(info, e.X)
+	}
+	return nil
+}
+
+func referencesObj(info *types.Info, n ast.Node, target types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// stmtLists enumerates every statement list in body — block bodies,
+// switch/select clause bodies — without descending into function
+// literals.
+func stmtLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			out = append(out, n.List)
+		case *ast.CaseClause:
+			out = append(out, n.Body)
+		case *ast.CommClause:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,13 @@
+package classhintpair_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/classhintpair"
+)
+
+func TestClassHintPair(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "classhintpair"), classhintpair.Analyzer)
+}

@@ -1,0 +1,93 @@
+// Fixture for the classhintpair pass: import-free stand-ins for
+// core.Worker, violating and conforming SetClassHint shapes. Lines
+// expecting a diagnostic carry a `// want` comment.
+package classhintpair
+
+type Class int
+
+type Worker struct {
+	hinted bool
+	hint   Class
+}
+
+func (w *Worker) SetClassHint(c Class) { w.hinted, w.hint = true, c }
+func (w *Worker) ClearClassHint()      { w.hinted = false }
+
+func doWork() {}
+
+// --- violations ---
+
+func leaks(w *Worker) {
+	w.SetClassHint(1) // want `SetClassHint is not paired`
+	doWork()
+}
+
+func leakyReturn(w *Worker, cond bool) {
+	w.SetClassHint(1) // want `may leak: return at line \d+ is not preceded by ClearClassHint`
+	if cond {
+		return
+	}
+	w.ClearClassHint()
+}
+
+func escapesIntoGoroutine(w *Worker) {
+	w.SetClassHint(1)
+	go func() { doWork(); _ = w.hinted }() // want `goroutine spawned while a ClassHint set at line \d+ is live`
+	w.ClearClassHint()
+}
+
+func escapesWithDefer(w *Worker) {
+	w.SetClassHint(1)
+	defer w.ClearClassHint()
+	go func() { _ = w.hint }() // want `goroutine spawned while a ClassHint`
+}
+
+// --- conforming ---
+
+func okDefer(w *Worker) {
+	w.SetClassHint(1)
+	defer w.ClearClassHint()
+	doWork()
+}
+
+func okAllPaths(w *Worker, cond bool) int {
+	w.SetClassHint(1)
+	if cond {
+		w.ClearClassHint()
+		return 1
+	}
+	w.ClearClassHint()
+	return 2
+}
+
+func okSwitchDefault(w *Worker, op int) int {
+	w.SetClassHint(1)
+	r := 0
+	switch op {
+	case 1:
+		r = 1
+	default:
+		w.ClearClassHint()
+		return -1
+	}
+	w.ClearClassHint()
+	return r
+}
+
+func okGoroutineAfterClear(w *Worker) {
+	w.SetClassHint(1)
+	w.ClearClassHint()
+	go func() { _ = w.hinted }()
+}
+
+func okGoroutineUnrelatedWorker(w, other *Worker) {
+	w.SetClassHint(1)
+	go func() { _ = other.hinted }()
+	w.ClearClassHint()
+}
+
+func okSuppressed(w *Worker) {
+	//lint:ignore classhintpair fixture: demonstrates a justified suppression the analyzer honours
+	w.SetClassHint(1)
+	doWork()
+}

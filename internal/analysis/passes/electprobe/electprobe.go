@@ -1,0 +1,77 @@
+// Package electprobe keeps the skew detector's contention counters
+// clean: combiner-election probes must go through the blessed
+// shard.electTry helper, never through a bare TryAcquire.
+//
+// The resharding heuristic (shardedkv) reads locks.Contended's
+// attempts/contended ratio to decide when a shard is hot enough to
+// split. Contended.TryAcquire counts a failed try as contention — the
+// right semantics for sync-path users, and exactly the wrong one for
+// election probes, which fail by design at every losing election and
+// would make an idle-but-combined shard look contended. electTry
+// probes the wrapped lock via Contended.Inner(), bypassing the
+// counters; this pass makes that the only way to write an election.
+//
+// Flagged:
+//
+//   - any X.TryAcquire(...) call where X's static type is the
+//     Contended wrapper (its counting TryAcquire is never an election
+//     probe's business);
+//   - any other X.TryAcquire(...) call outside a function named
+//     electTry, TryAcquire or Acquire — the latter two names exempt
+//     lock implementations and wrappers (locks package adapters,
+//     Contended itself) that legitimately forward the probe downward.
+package electprobe
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the electprobe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "electprobe",
+	Doc:  "check that combiner elections use shard.electTry, not a counter-polluting bare TryAcquire",
+	Run:  run,
+}
+
+// exemptFuncs are the enclosing-function names inside which a forwarded
+// TryAcquire is part of the lock machinery itself.
+var exemptFuncs = map[string]bool{
+	"electTry":   true,
+	"TryAcquire": true,
+	"Acquire":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncNodes(file, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+			checkFunc(pass, name, body)
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fname string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are visited as their own functions
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, ok := analysis.MethodCall(call)
+		if !ok || name != "TryAcquire" {
+			return true
+		}
+		if analysis.NamedRecvType(pass.TypesInfo, recv) == "Contended" {
+			pass.Reportf(call.Pos(), "TryAcquire on a locks.Contended counts a failed probe as contention; probe via Inner() inside electTry")
+			return true
+		}
+		if !exemptFuncs[fname] {
+			pass.Reportf(call.Pos(), "bare TryAcquire outside electTry: election probes must use shard.electTry so Contended counters stay clean")
+		}
+		return true
+	})
+}

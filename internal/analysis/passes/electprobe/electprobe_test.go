@@ -1,0 +1,13 @@
+package electprobe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/electprobe"
+)
+
+func TestElectProbe(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "electprobe"), electprobe.Analyzer)
+}

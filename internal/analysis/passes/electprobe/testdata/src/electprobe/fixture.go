@@ -1,0 +1,68 @@
+// Fixture for the electprobe pass: stand-ins for locks.WLock and
+// locks.Contended, the blessed electTry shape, and the two violation
+// shapes (bare probe outside electTry; probe through the counting
+// Contended wrapper).
+package electprobe
+
+type Worker struct{}
+
+type WLock struct{ held bool }
+
+func (l *WLock) Acquire(w *Worker)         { l.held = true }
+func (l *WLock) TryAcquire(w *Worker) bool { return !l.held }
+
+// Contended mirrors locks.Contended: a wrapper whose TryAcquire counts
+// a failed probe as contention.
+type Contended struct {
+	inner    WLock
+	attempts int
+}
+
+func (c *Contended) Inner() *WLock { return &c.inner }
+
+func (c *Contended) TryAcquire(w *Worker) bool {
+	c.attempts++
+	return c.inner.TryAcquire(w)
+}
+
+func (c *Contended) Acquire(w *Worker) {
+	c.attempts++
+	if c.inner.TryAcquire(w) {
+		return
+	}
+	c.inner.Acquire(w)
+}
+
+type shard struct {
+	lock WLock
+	cont *Contended
+}
+
+// electTry is the blessed helper: probes bypass the Contended
+// counters via Inner().
+func (sh *shard) electTry(w *Worker) bool {
+	if sh.cont != nil {
+		return sh.cont.Inner().TryAcquire(w)
+	}
+	return sh.lock.TryAcquire(w)
+}
+
+// --- violations ---
+
+func badBareProbe(sh *shard, w *Worker) bool {
+	return sh.lock.TryAcquire(w) // want `bare TryAcquire outside electTry`
+}
+
+func badContendedProbe(c *Contended, w *Worker) bool {
+	return c.TryAcquire(w) // want `TryAcquire on a locks.Contended counts a failed probe as contention`
+}
+
+// --- conforming ---
+
+func okViaHelper(sh *shard, w *Worker) bool {
+	return sh.electTry(w)
+}
+
+func okBlockingAcquire(sh *shard, w *Worker) {
+	sh.lock.Acquire(w)
+}

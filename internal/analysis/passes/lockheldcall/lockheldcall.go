@@ -1,0 +1,307 @@
+// Package lockheldcall enforces the collect-under-lock / emit-after-
+// release contract from the sharded store: while a shard lock is held
+// — a region bracketed by X.Acquire(w)/X.Release(w), or opened by a
+// successful X.TryAcquire(w)/X.electTry(w) — the critical section must
+// stay pure engine work. Three call shapes are flagged inside a held
+// region:
+//
+//   - invoking a func-typed parameter of the enclosing function (a
+//     user callback: Range's fn, a visitor, a hook) — user code must
+//     run after release, from collected results;
+//   - a channel send (completing a future wakes a waiter into a world
+//     where this goroutine still holds the lock; the pipeline
+//     completes futures only after release);
+//   - calling an exported method on a Store / AsyncStore /
+//     ClassedStore / ClassedAsync value (re-entering the public API
+//     acquires shard locks and can self-deadlock or invert the
+//     ancestor→descendant split order).
+//
+// Region tracking is lexical and flow-insensitive per statement list:
+// an Acquire statement opens a region that a Release of the same lock
+// expression in the same list closes ("sh.lock" and the "sh" of
+// sh.electTry(w) canonicalize to the same key); a region still open at
+// a nested block's entry is inherited by the block; releases inside a
+// conditional close the region only for that branch. Successful-
+// TryAcquire regions are recognized both as `if X.TryAcquire(w) {...}`
+// (held inside the branch) and as the early-return form
+// `if !X.TryAcquire(w) { return }` (held after the if). A helper that
+// returns with the lock held (acquireLive) opens no lexical region —
+// an accepted false negative; those call sites are covered by
+// convention and tests.
+package lockheldcall
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockheldcall pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheldcall",
+	Doc:  "check that no user callback, future completion or re-entrant store call runs while a shard lock is held",
+	Run:  run,
+}
+
+// storeTypes are the receiver type names whose exported methods form
+// the re-entrant public store API (matched by type name so fixtures
+// can declare local stand-ins).
+var storeTypes = map[string]bool{
+	"Store":        true,
+	"AsyncStore":   true,
+	"ClassedStore": true,
+	"ClassedAsync": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncNodes(file, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+			c := &checker{
+				pass:      pass,
+				callbacks: analysis.FuncParamObjs(pass.TypesInfo, ft),
+			}
+			c.block(body.List, map[string]bool{})
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	callbacks map[types.Object]bool
+}
+
+// block walks one statement list with the set of lock keys held at
+// its entry, threading acquisitions and releases through in order.
+func (c *checker) block(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		held = c.stmt(s, held)
+	}
+}
+
+// stmt processes one statement under the current held set and returns
+// the held set for the statements that follow it in the same list.
+func (c *checker) stmt(s ast.Stmt, held map[string]bool) map[string]bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, kind, ok := lockOp(s.X); ok {
+			switch kind {
+			case "Acquire":
+				held = clone(held)
+				held[key] = true
+				return held
+			case "Release":
+				held = clone(held)
+				delete(held, key)
+				return held
+			}
+		}
+		c.scan(s, held)
+		return held
+
+	case *ast.BlockStmt:
+		c.block(s.List, clone(held))
+		return held
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		// `if X.TryAcquire(w) { ... }`: held inside the branch.
+		if key, ok := tryAcquireCond(s.Cond, c.pass.TypesInfo); ok {
+			inner := clone(held)
+			inner[key] = true
+			c.block(s.Body.List, inner)
+			if s.Else != nil {
+				c.stmt(s.Else, clone(held))
+			}
+			return held
+		}
+		// `if !X.TryAcquire(w) { return }`: held after the if.
+		if un, okNeg := s.Cond.(*ast.UnaryExpr); okNeg && un.Op.String() == "!" {
+			if key, ok := tryAcquireCond(un.X, c.pass.TypesInfo); ok && terminates(s.Body) {
+				c.block(s.Body.List, clone(held))
+				held = clone(held)
+				held[key] = true
+				return held
+			}
+		}
+		c.scanExpr(s.Cond, held)
+		c.block(s.Body.List, clone(held))
+		if s.Else != nil {
+			c.stmt(s.Else, clone(held))
+		}
+		return held
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		c.block(s.Body.List, clone(held))
+		return held
+
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, held)
+		c.block(s.Body.List, clone(held))
+		return held
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.block(cc.Body, clone(held))
+			}
+		}
+		return held
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.block(cc.Body, clone(held))
+			}
+		}
+		return held
+
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, clone(held))
+				}
+				c.block(cc.Body, clone(held))
+			}
+		}
+		return held
+
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+
+	case *ast.DeferStmt:
+		// `defer X.Release(w)` keeps the region open to function end —
+		// which "never close" already models; the deferred call itself
+		// runs after this lexical region, so it is not scanned.
+		return held
+
+	default:
+		c.scan(s, held)
+		return held
+	}
+}
+
+// scan inspects a simple statement's subtree for violations under the
+// current held set. Function-literal bodies are skipped: defining a
+// closure under the lock is fine, only running one is not (a direct
+// call of a literal still surfaces via its CallExpr arguments).
+func (c *checker) scan(n ast.Node, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.pass.Reportf(n.Pos(), "channel send while a shard lock is held; complete futures after Release")
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) scanExpr(e ast.Expr, held map[string]bool) {
+	if e != nil {
+		c.scan(e, held)
+	}
+}
+
+// checkCall flags a single call made while a lock is held.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.callbacks[obj] {
+			c.pass.Reportf(call.Pos(), "call to user callback %s while a shard lock is held; collect under the lock, emit after Release", id.Name)
+		}
+		return
+	}
+	recv, name, ok := analysis.MethodCall(call)
+	if !ok || !ast.IsExported(name) {
+		return
+	}
+	n := analysis.NamedRecv(c.pass.TypesInfo, recv)
+	if n == nil || !storeTypes[n.Obj().Name()] {
+		return
+	}
+	// Other packages are free to name a type Store (the lsm engine
+	// does); only the sharded store's API — or a fixture's local
+	// stand-in — is the re-entrancy hazard.
+	if p := n.Obj().Pkg(); p != nil && (p.Name() == "shardedkv" || p == c.pass.Pkg) {
+		c.pass.Reportf(call.Pos(), "re-entrant %s.%s call while a shard lock is held risks self-deadlock or lock-order inversion", n.Obj().Name(), name)
+	}
+}
+
+// lockOp matches X.Acquire(w) / X.Release(w) as a region boundary and
+// returns the canonical lock key.
+func lockOp(e ast.Expr) (key, kind string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 1 {
+		return "", "", false
+	}
+	recv, name, isMethod := analysis.MethodCall(call)
+	if !isMethod || (name != "Acquire" && name != "Release") {
+		return "", "", false
+	}
+	return analysis.ExprKey(recv), name, true
+}
+
+// tryAcquireCond matches X.TryAcquire(w) or X.electTry(w) used as a
+// condition and returns the canonical lock key.
+func tryAcquireCond(e ast.Expr, info *types.Info) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", false
+	}
+	recv, name, ok := analysis.MethodCall(call)
+	if !ok || (name != "TryAcquire" && name != "electTry") {
+		return "", false
+	}
+	return analysis.ExprKey(recv), true
+}
+
+// terminates reports whether a block always transfers control away
+// (its last statement is a return, branch, or panic call).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package lockheldcall_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lockheldcall"
+)
+
+func TestLockHeldCall(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "lockheldcall"), lockheldcall.Analyzer)
+}

@@ -1,0 +1,113 @@
+// Fixture for the lockheldcall pass: import-free stand-ins for the
+// shard lock and store API, violating and conforming critical-section
+// shapes — including the TryAcquire-success-branch and the negated
+// early-return election form.
+package lockheldcall
+
+type Worker struct{}
+
+type WLock struct{ held bool }
+
+func (l *WLock) Acquire(w *Worker)         { l.held = true }
+func (l *WLock) Release(w *Worker)         { l.held = false }
+func (l *WLock) TryAcquire(w *Worker) bool { return !l.held }
+
+type shard struct{ lock WLock }
+
+func (sh *shard) electTry(w *Worker) bool { return sh.lock.TryAcquire(w) }
+
+// Store is the fixture's stand-in for the re-entrant public API.
+type Store struct{}
+
+func (s *Store) Get(w *Worker, k uint64) int { return 0 }
+func (s *Store) internalGet(k uint64) int    { return 0 }
+
+// --- violations ---
+
+func badCallback(sh *shard, w *Worker, fn func(int)) {
+	sh.lock.Acquire(w)
+	fn(1) // want `call to user callback fn while a shard lock is held`
+	sh.lock.Release(w)
+}
+
+func badSend(sh *shard, w *Worker, ch chan int) {
+	sh.lock.Acquire(w)
+	ch <- 1 // want `channel send while a shard lock is held`
+	sh.lock.Release(w)
+}
+
+func badReentrantStore(sh *shard, w *Worker, st *Store) {
+	sh.lock.Acquire(w)
+	_ = st.Get(w, 1) // want `re-entrant Store.Get call while a shard lock is held`
+	sh.lock.Release(w)
+}
+
+func badTrySuccessBranch(sh *shard, w *Worker, fn func(int)) {
+	if sh.lock.TryAcquire(w) {
+		fn(1) // want `call to user callback fn`
+		sh.lock.Release(w)
+	}
+}
+
+func badElectEarlyReturn(sh *shard, w *Worker, ch chan int) {
+	if !sh.electTry(w) {
+		return
+	}
+	ch <- 1 // want `channel send while a shard lock is held`
+	sh.lock.Release(w)
+}
+
+// --- conforming ---
+
+func okEmitAfterRelease(sh *shard, w *Worker, fn func(int)) {
+	sh.lock.Acquire(w)
+	v := 1
+	sh.lock.Release(w)
+	fn(v)
+}
+
+func okSendAfterRelease(sh *shard, w *Worker, ch chan int) {
+	sh.lock.Acquire(w)
+	v := 1
+	sh.lock.Release(w)
+	ch <- v
+}
+
+func okUnexportedHelper(sh *shard, w *Worker, st *Store) {
+	sh.lock.Acquire(w)
+	_ = st.internalGet(1)
+	sh.lock.Release(w)
+}
+
+func okElectedThenReleased(sh *shard, w *Worker, fn func(int)) {
+	if !sh.electTry(w) {
+		return
+	}
+	v := 2
+	sh.lock.Release(w)
+	fn(v)
+}
+
+func okClosureDefinedNotCalled(sh *shard, w *Worker) func() int {
+	sh.lock.Acquire(w)
+	f := func() int { return 1 }
+	sh.lock.Release(w)
+	return f
+}
+
+func okReleasedInBranchTaken(sh *shard, w *Worker, ch chan int, cond bool) {
+	sh.lock.Acquire(w)
+	if cond {
+		sh.lock.Release(w)
+		ch <- 1 // released on this branch
+		return
+	}
+	sh.lock.Release(w)
+}
+
+func okSuppressedVisitor(sh *shard, w *Worker, fn func(int)) {
+	sh.lock.Acquire(w)
+	//lint:ignore lockheldcall fixture: internal visitor contractually runs under the shard lock
+	fn(1)
+	sh.lock.Release(w)
+}

@@ -1,0 +1,95 @@
+// Package shadow is a stdlib reimplementation of the stock `vet
+// -vettool` shadow pass (off by default in go vet), tuned for clean
+// signal so it can gate CI: it reports a short variable declaration
+// that shadows an in-scope local of the identical type when the
+// shadowed variable is still used after the shadowing declaration's
+// scope ends — the pattern where a write to the inner variable was
+// plausibly meant for the outer one (the classic `err := ...` inside a
+// block whose outer err is checked later).
+//
+// Deliberately not reported, to keep the pass quiet enough to gate:
+// shadows of package-level variables, shadows of a different type
+// (conversions and narrowing redeclarations are idiomatic), and
+// shadows whose outer variable is never touched again (harmless reuse
+// of a good name).
+//
+// The other stock pass the ISSUE names, nilness, is built on x/tools
+// SSA; with the offline toolchain (no module proxy, stdlib only) there
+// is no SSA package to build it from, so it stays gated until the
+// x/tools dependency can be vendored. See ARCHITECTURE.md, "Enforced
+// invariants".
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the shadow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "check for shadowed same-typed locals whose outer variable is used after the inner scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				checkShadow(pass, id)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkShadow(pass *analysis.Pass, id *ast.Ident) {
+	obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok {
+		return
+	}
+	inner := pass.Pkg.Scope().Innermost(id.Pos())
+	if inner == nil || inner.Parent() == nil {
+		return
+	}
+	_, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer == obj {
+		return
+	}
+	// Package-level shadows are idiomatic (err, ok); skip them.
+	if outer.Parent() == pass.Pkg.Scope() {
+		return
+	}
+	if !types.Identical(obj.Type(), outer.Type()) {
+		return
+	}
+	// Only a shadow whose outer variable is used after the inner
+	// scope closes can swallow a write that was meant for the outer.
+	if !usedAfter(pass.TypesInfo, outer, inner.End()) {
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d; the outer variable is used after this scope",
+		id.Name, pass.Fset.Position(outer.Pos()).Line)
+}
+
+func usedAfter(info *types.Info, obj types.Object, end token.Pos) bool {
+	for id, used := range info.Uses {
+		if used == obj && id.Pos() >= end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package shadow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "shadow"), shadow.Analyzer)
+}

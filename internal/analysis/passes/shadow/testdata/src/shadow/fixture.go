@@ -1,0 +1,59 @@
+// Fixture for the shadow pass: a `:=` redeclaration of a same-typed
+// local whose outer variable is still used after the inner scope is
+// flagged; different types, package-level shadows and dead outers are
+// not.
+package shadow
+
+func produce() error { return nil }
+
+var pkgErr error
+
+// --- violations ---
+
+func badShadowedErr(cond bool) error {
+	var err error
+	if cond {
+		err := produce() // want `declaration of "err" shadows declaration at line \d+`
+		_ = err
+	}
+	return err
+}
+
+func badShadowedValue(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := x // want `declaration of "total" shadows declaration at line \d+`
+			_ = total
+		}
+	}
+	return total
+}
+
+// --- conforming ---
+
+func okOuterDeadAfter(cond bool) {
+	err := produce()
+	_ = err
+	if cond {
+		err := produce() // outer err never read again
+		_ = err
+	}
+}
+
+func okDifferentType(cond bool) error {
+	var err error
+	if cond {
+		err := 1 // int, not error: a narrowing redeclaration
+		_ = err
+	}
+	return err
+}
+
+func okPackageLevel(cond bool) error {
+	if cond {
+		pkgErr := produce() // shadows a package-level variable: idiomatic
+		_ = pkgErr
+	}
+	return pkgErr
+}

@@ -1,0 +1,44 @@
+// Fixture for the wireconst pass: wire enum families (exported uint8
+// Op*/Class*/Status*/Flag* constants) must be declared strictly
+// increasing — duplicates and out-of-order (renumbered / gap-filling)
+// declarations are flagged; limits, unexported constants and
+// non-family names are out of scope.
+package wireconst
+
+const (
+	OpGet    uint8 = 0x01
+	OpPut    uint8 = 0x02
+	OpDup    uint8 = 0x02 // want `wire constant OpDup duplicates the value 0x02 of OpPut`
+	OpFilled uint8 = 0x01 // want `wire constant OpFilled \(0x01\) declared after OpPut \(0x02\)`
+	OpStats  uint8 = 0x08
+)
+
+const (
+	StatusOK        uint8 = 0x00
+	StatusErr       uint8 = 0x01
+	StatusErrOther  uint8 = 0x02
+	StatusRecycled  uint8 = 0x01 // want `declared after StatusErrOther`
+	StatusErrLatest uint8 = 0x05
+)
+
+const (
+	ClassInteractive uint8 = 0x00
+	ClassBulk        uint8 = 0x01
+)
+
+const FlagMore uint8 = 0x01
+
+// Out of scope: limits are legitimately non-monotonic and may share
+// values; unexported and non-uint8 constants never participate; a
+// family prefix not followed by an upper-case rune is not a family.
+const (
+	MaxFrame    = 1 << 24
+	MaxBatchOps = 1 << 16
+	MaxPairs    = 1 << 16
+)
+
+const headerLen uint8 = 10
+
+const Classless = 5
+
+const OpaqueTag uint8 = 0x00

@@ -1,0 +1,116 @@
+// Package wireconst enforces the append-only wire-constant rule from
+// docs/protocol.md: the exported uint8 enum families of the kvserver
+// protocol — Op*, Class*, Status*, Flag* — are part of the wire
+// contract, so values may only ever be appended, never renumbered,
+// never reused.
+//
+// The check is structural, so it holds for values not yet pinned by
+// docs_test.go's table checks: within each family (constants grouped
+// by name prefix, in declaration order across the package) values must
+// be strictly increasing. Strictly increasing declaration order
+// implies both uniqueness (no two ops can alias on the wire) and
+// append-only evolution (a new constant inserted mid-family or
+// assigned a recycled value breaks the ordering and fails the build's
+// lint gate, not a code review).
+//
+// Only exported constants of underlying type uint8 whose name starts
+// with a family prefix participate; unexported protocol internals
+// (headerLen) and the Max* limits (legitimately non-monotonic, with
+// intentionally equal values) are out of scope.
+package wireconst
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wireconst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireconst",
+	Doc:  "check that wire enum constants (Op*/Class*/Status*/Flag*) are append-only: strictly increasing, no duplicates",
+	Run:  run,
+}
+
+// families are the wire enum name prefixes. A constant belongs to a
+// family when its name is the prefix followed by an upper-case rune
+// (so ClassBulk is in Class, but Classify would not be).
+var families = []string{"Op", "Class", "Status", "Flag"}
+
+func run(pass *analysis.Pass) error {
+	last := make(map[string]struct {
+		val  uint64
+		name string
+	})
+	seen := make(map[string]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					fam := familyOf(name.Name)
+					if fam == "" {
+						continue
+					}
+					val, ok := constUint8(pass.TypesInfo, name)
+					if !ok {
+						continue
+					}
+					if seen[fam] && val <= last[fam].val {
+						if val == last[fam].val {
+							pass.Reportf(name.Pos(), "wire constant %s duplicates the value 0x%02x of %s; wire enums must be unique", name.Name, val, last[fam].name)
+						} else {
+							pass.Reportf(name.Pos(), "wire constant %s (0x%02x) declared after %s (0x%02x); wire enums are append-only — new values go at the end, strictly increasing", name.Name, val, last[fam].name, last[fam].val)
+						}
+						continue
+					}
+					last[fam] = struct {
+						val  uint64
+						name string
+					}{val, name.Name}
+					seen[fam] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// familyOf returns the enum family a constant name belongs to, or "".
+func familyOf(name string) string {
+	if !ast.IsExported(name) {
+		return ""
+	}
+	for _, fam := range families {
+		rest := strings.TrimPrefix(name, fam)
+		if rest != name && rest != "" && unicode.IsUpper(rune(rest[0])) {
+			return fam
+		}
+	}
+	return ""
+}
+
+// constUint8 resolves ident as a constant of underlying type uint8.
+func constUint8(info *types.Info, ident *ast.Ident) (uint64, bool) {
+	obj, ok := info.Defs[ident].(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Uint8 {
+		return 0, false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(obj.Val()))
+	return v, ok
+}

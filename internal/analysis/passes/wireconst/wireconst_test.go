@@ -1,0 +1,13 @@
+package wireconst_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/wireconst"
+)
+
+func TestWireConst(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "wireconst"), wireconst.Analyzer)
+}

@@ -1,0 +1,189 @@
+package analysis
+
+// This file implements the `go vet -vettool` driver protocol — the
+// stdlib-only counterpart of golang.org/x/tools/go/analysis/unitchecker.
+//
+// go vet invokes the vettool three ways:
+//
+//	tool -flags         print a JSON array describing the tool's flags
+//	tool -V=full        print "<name> version <ver>" (build-ID material)
+//	tool <vet.cfg>      analyze one package described by the config file
+//
+// The vet.cfg file is JSON emitted by cmd/go into the package's work
+// directory. Dependency packages are visited with VetxOnly=true purely
+// so the tool can export "facts" for downstream packages; this suite
+// has no cross-package facts, so those invocations just write an empty
+// facts file and exit. For the packages named on the command line
+// (VetxOnly=false) we parse the source files, type-check them against
+// the export data cmd/go already compiled (PackageFile maps import
+// paths to .a/export files in the build cache — no network, no second
+// compile), run every analyzer, and print findings to stderr as
+// "file:line:col: analyzer: message", exiting 2 if any survive.
+//
+// The per-op ClassHint is the SAL shielded-flag protocol of the paper;
+// the wrapped Acquire/Release pairs are its asymmetric lock. The whole
+// point of running as a vettool rather than a standalone walker is that
+// `go vet` hands us fully resolved types for every package variant
+// (including test variants) with build-cache-level incrementality.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet.cfg that this driver
+// consumes (unknown fields are ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the vettool entry point: it interprets the go vet driver
+// protocol for the given analyzers and exits. Call it from main().
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) != 2 {
+		fmt.Fprintf(os.Stderr, "usage: %s <vet.cfg>\n(this binary is a go vet -vettool; run it via `go vet -vettool=%s ./...` or `make lint`)\n", progname, os.Args[0])
+		os.Exit(1)
+	}
+	switch arg := os.Args[1]; {
+	case arg == "help", arg == "-h", arg == "--help", arg == "-help":
+		fmt.Fprintf(os.Stderr, "%s: machine-checks this repository's concurrency contracts\n\nRegistered analyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(0)
+	case arg == "-flags":
+		// No tool-specific flags; go vet expects a JSON array.
+		fmt.Println("[]")
+		os.Exit(0)
+	case strings.HasPrefix(arg, "-V"):
+		// Incorporated into go vet's action IDs; changing it
+		// invalidates cached vet results.
+		fmt.Printf("%s version repolint-1 (stdlib unitchecker)\n", progname)
+		os.Exit(0)
+	default:
+		diags, err := runOnConfig(arg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		os.Exit(0)
+	}
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}
+
+// runOnConfig analyzes the package described by the vet.cfg at path
+// and returns rendered diagnostics.
+func runOnConfig(path string, analyzers []*Analyzer) ([]string, error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return nil, rerr
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+
+	// Facts file first: go vet records it as the action's output even
+	// for the leaf packages we fully analyze.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	// Dependency-only visit: no facts to compute, nothing to report.
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the export data cmd/go already built: the
+	// vet.cfg maps every dependency (stdlib included) to a file in the
+	// build cache, so type-checking needs no compiler and no network.
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[importPath]; ok {
+			importPath = p
+		}
+		file, ok := cfg.PackageFile[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in vet.cfg PackageFile)", importPath)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, "amd64"),
+		Error:     func(error) {}, // collect all, decide below
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return out, nil
+}

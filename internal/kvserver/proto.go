@@ -255,8 +255,8 @@ func DecodeRequest(frame []byte) (Request, error) {
 			return req, err
 		}
 	case OpMultiGet:
-		n, err := r.u32()
-		if err != nil {
+		var n uint32
+		if n, err = r.u32(); err != nil {
 			return req, err
 		}
 		if n > MaxBatchOps {
@@ -274,8 +274,8 @@ func DecodeRequest(frame []byte) (Request, error) {
 			}
 		}
 	case OpMultiPut:
-		n, err := r.u32()
-		if err != nil {
+		var n uint32
+		if n, err = r.u32(); err != nil {
 			return req, err
 		}
 		if n > MaxBatchOps {

@@ -29,12 +29,14 @@ type classScope struct {
 
 func enterClass(w *core.Worker, c core.Class) classScope {
 	s := classScope{w: w, hinted: w.ClassHinted(), prev: w.Class()}
+	//lint:ignore classhintpair enterClass IS the set half of the pair; every caller is a single-return Classed* method that calls restore() before returning, which the ops below make structurally obvious.
 	w.SetClassHint(c)
 	return s
 }
 
 func (s classScope) restore() {
 	if s.hinted {
+		//lint:ignore classhintpair this SetClassHint restores the caller's saved hint (the clear half of the pair), it does not install a new scope.
 		s.w.SetClassHint(s.prev)
 	} else {
 		s.w.ClearClassHint()

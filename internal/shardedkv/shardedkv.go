@@ -520,6 +520,7 @@ func (s *Store) execGrouped(w *core.Worker, n int, hash func(i int) uint64, exec
 			}
 			continue
 		}
+		//lint:ignore lockheldcall exec is execGrouped's internal per-shard visitor, not user code: MultiGet/MultiPut pass engine-only closures that collect into preallocated slices, and the public emit happens after this loop releases.
 		exec(g.sh, g.idx)
 		g.sh.lock.Release(w)
 	}

@@ -179,6 +179,7 @@ func (s *Store) forEachLive(w *core.Worker, fn func(sh *shard)) {
 			work = append(work, f.kids[0], f.kids[1])
 			continue
 		}
+		//lint:ignore lockheldcall fn is forEachLive's internal per-shard visitor and must run under the shard lock (that is the helper's contract); the public Range/MultiRange callers pass collect-only closures and emit after release.
 		fn(sh)
 		sh.lock.Release(w)
 	}
