@@ -30,14 +30,15 @@ RACE_PKGS = . \
 
 # The repo's own multichecker (see internal/analysis): custom vet
 # passes that machine-check the concurrency contracts documented in
-# ARCHITECTURE.md ("Enforced invariants"). Built once into bin/ so CI
-# steps and repeated local runs reuse the binary (and Go's build cache
-# makes the rebuild a no-op when nothing changed).
+# ARCHITECTURE.md ("Enforced invariants"). Built once into bin/ as a
+# real file target, so every vet invocation in a run — and repeated
+# local runs — reuse one binary (Go's build cache makes the rebuild a
+# no-op when nothing changed).
 REPOLINT = bin/repolint
 
-.PHONY: check build vet lint fmt-check test short race ci bench bench-json net-smoke
+.PHONY: check build vet lint lint-test fmt-check test short race ci bench bench-json net-smoke FORCE
 
-check: vet lint fmt-check build test
+check: vet lint lint-test fmt-check build test
 
 build:
 	$(GO) build ./...
@@ -45,9 +46,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-lint:
-	$(GO) build -o $(REPOLINT) ./cmd/repolint
+$(REPOLINT): FORCE
+	$(GO) build -o $@ ./cmd/repolint
+
+FORCE:
+
+lint: $(REPOLINT)
 	$(GO) vet -vettool=$(REPOLINT) ./...
+
+# lint-test runs the analyzer suite's own tests: the CFG builder and
+# dataflow-solver unit tests plus every pass's analysistest fixtures
+# (including the multi-package fact-exchange ones).
+lint-test:
+	$(GO) test ./internal/analysis/...
 
 fmt-check:
 	@unformatted=$$($(GOFMT) -l .); \

@@ -1,9 +1,13 @@
 // Command repolint is the repository's multichecker: it bundles the
 // custom concurrency-contract analyzers (classhintpair, lockheldcall,
-// electprobe, wireconst) plus the stock-but-off-by-default shadow pass
-// into one `go vet -vettool` binary, so the contracts documented in
-// ARCHITECTURE.md ("Enforced invariants") gate every `make check` /
-// `make ci` run.
+// lockorder, atomicfield, electprobe, wireconst) plus the
+// stock-but-off-by-default shadow pass into one `go vet -vettool`
+// binary, so the contracts documented in ARCHITECTURE.md ("Enforced
+// invariants") gate every `make check` / `make ci` run. The
+// fact-powered passes (lockorder, atomicfield) exchange gob-encoded
+// facts across packages through vet's .vetx files, so whole-program
+// properties — the lock-order graph, a field's atomicity discipline —
+// are checked even though vet analyzes one package at a time.
 //
 // Two invocation modes:
 //
@@ -23,9 +27,11 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/passes/atomicfield"
 	"repro/internal/analysis/passes/classhintpair"
 	"repro/internal/analysis/passes/electprobe"
 	"repro/internal/analysis/passes/lockheldcall"
+	"repro/internal/analysis/passes/lockorder"
 	"repro/internal/analysis/passes/shadow"
 	"repro/internal/analysis/passes/wireconst"
 )
@@ -34,6 +40,8 @@ import (
 var Analyzers = []*analysis.Analyzer{
 	classhintpair.Analyzer,
 	lockheldcall.Analyzer,
+	lockorder.Analyzer,
+	atomicfield.Analyzer,
 	electprobe.Analyzer,
 	wireconst.Analyzer,
 	shadow.Analyzer,

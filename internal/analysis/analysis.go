@@ -52,6 +52,10 @@ type Analyzer struct {
 	// via pass.Report / pass.Reportf; the error return is for
 	// analysis failures (not findings).
 	Run func(pass *Pass) error
+	// FactTypes lists pointer exemplars of every Fact type the
+	// analyzer exports or imports (see facts.go). Analyzers with no
+	// FactTypes see no facts and export none.
+	FactTypes []Fact
 }
 
 // A Pass is one application of one Analyzer to one package.
@@ -62,7 +66,36 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts *FactStore
 	diags *[]Diagnostic
+}
+
+// ExportObjectFact states fact about obj. obj may belong to this
+// package or to an imported one (the atomicfield pass states facts
+// about imported fields it sees atomic access to); either way the fact
+// rides this package's vetx file to every dependent. A no-op for
+// objects that cannot carry facts (locals, anonymous-struct fields).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.exportObject(obj, fact)
+}
+
+// ImportObjectFact copies the stored fact about obj into fact (a
+// pointer to the matching concrete type), reporting whether one was
+// found. Facts exported earlier in this same package run are visible
+// too, so in-package and cross-package callee summaries read the same.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.importObject(obj, fact)
+}
+
+// ExportPackageFact states fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.exportPackage(p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies the stored package fact for the package
+// with the given import path into fact, reporting whether one exists.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	return p.facts.importPackage(path, fact)
 }
 
 // A Diagnostic is one finding.
@@ -88,7 +121,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // tests exercise violations deliberately), and findings silenced by a
 // justified //lint:ignore directive are filtered out. Malformed
 // directives (no reason) are themselves reported.
-func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+//
+// facts carries the decoded facts of every dependency in and this
+// package's exported facts out; nil means an empty throwaway store.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -97,6 +136,7 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

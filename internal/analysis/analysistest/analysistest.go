@@ -13,15 +13,23 @@
 // diagnostic with no matching expectation is "unexpected", an
 // expectation with no diagnostic is "unsatisfied".
 //
-// Fixtures must be import-free (they declare local stand-ins for
-// Worker, WLock, Store, ...): offline there is no exported package
-// data outside a real build, and self-contained fixtures keep each
-// case readable in one file anyway. The harness typechecks the fixture
-// fully, so stand-ins give the passes the same type information the
-// real tree would.
+// Run handles the single-package case: the fixture must be import-free
+// (it declares local stand-ins for Worker, WLock, Store, ...), since
+// offline there is no exported package data outside a real build, and
+// self-contained fixtures keep each case readable in one file anyway.
+//
+// Packages handles multi-package fixtures for the fact-powered passes:
+// sibling directories under one testdata/src root import each other by
+// directory name, are typechecked in the given (dependency) order
+// against the already-checked fixture packages, and analyzer facts
+// flow between them through the same gob encode/decode round trip the
+// go vet driver uses — so a cross-package lockorder or atomicfield
+// test exercises the real vetx serialization, not an in-memory
+// shortcut. Imports outside the fixture root stay forbidden.
 package analysistest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -51,12 +59,76 @@ var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 // mismatch with the fixture's `// want` expectations on t.
 func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
+	fset := token.NewFileSet()
+	// Importer-free typecheck: single-dir fixtures are self-contained
+	// by contract, so any import is a fixture bug.
+	files, pkg, info := load(t, fset, dir, filepath.Base(dir), nil)
+	diags, err := analysis.Run(analyzers, fset, files, pkg, info, nil)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	match(t, fset, files, diags)
+}
 
+// Packages applies analyzers to multi-package fixtures: each name in
+// pkgs is a directory under root (conventionally testdata/src), listed
+// in dependency order — imports must point at earlier entries. Facts
+// exported while analyzing one package are gob-encoded and decoded
+// back for the packages that follow, exactly as the vet driver chains
+// vetx files, and `// want` expectations are checked in every package.
+func Packages(t *testing.T, root string, pkgs []string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	analysis.RegisterFactTypes(analyzers)
+
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{pkgs: make(map[string]*types.Package)}
+	var allFiles []*ast.File
+	var allDiags []analysis.Diagnostic
+	// encoded is the cumulative vetx payload: each package decodes the
+	// union of everything before it and re-encodes with its own facts
+	// added, mirroring unit.go's writeVetx chain.
+	var encoded []byte
+	for _, name := range pkgs {
+		files, pkg, info := load(t, fset, filepath.Join(root, name), name, imp)
+		imp.pkgs[name] = pkg
+		allFiles = append(allFiles, files...)
+
+		facts := analysis.NewFactStore()
+		if err := facts.AddEncoded(encoded); err != nil {
+			t.Fatalf("decoding facts for %s: %v", name, err)
+		}
+		diags, err := analysis.Run(analyzers, fset, files, pkg, info, facts)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", name, err)
+		}
+		allDiags = append(allDiags, diags...)
+		if encoded, err = facts.Encode(); err != nil {
+			t.Fatalf("encoding facts of %s: %v", name, err)
+		}
+	}
+	match(t, fset, allFiles, allDiags)
+}
+
+// fixtureImporter resolves fixture-internal imports to the already
+// typechecked sibling packages.
+type fixtureImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := i.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("fixture import %q: not a fixture package (list dependencies before dependents; imports outside the fixture root are forbidden)", path)
+}
+
+// load parses and typechecks one fixture directory.
+func load(t *testing.T, fset *token.FileSet, dir, pkgPath string, imp types.Importer) ([]*ast.File, *types.Package, *types.Info) {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("reading fixture dir: %v", err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
@@ -71,10 +143,7 @@ func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	if len(files) == 0 {
 		t.Fatalf("no fixture files in %s", dir)
 	}
-
-	// Importer-free typecheck: fixtures are self-contained by
-	// contract, so any import is a fixture bug.
-	conf := &types.Config{}
+	conf := &types.Config{Importer: imp}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -82,16 +151,16 @@ func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	pkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {
-		t.Fatalf("typechecking fixture (fixtures must be import-free and compile): %v", err)
+		t.Fatalf("typechecking fixture %s (must compile): %v", dir, err)
 	}
+	return files, pkg, info
+}
 
-	diags, err := analysis.Run(analyzers, fset, files, pkg, info)
-	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
-	}
-
+// match reconciles diagnostics with the fixtures' `// want` comments.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, fset, files)
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)

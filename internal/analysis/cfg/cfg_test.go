@@ -1,0 +1,552 @@
+package cfg_test
+
+// Builder tests on the adversarial statement shapes the dataflow
+// passes must survive: goto into and out of loops, defer in loops,
+// labeled break/continue, switch fallthrough, and short-circuit
+// && / || decomposition — each asserting the block/edge structure the
+// passes rely on, plus solver fixpoint termination on the cyclic
+// graphs those shapes produce.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// build parses a function body and returns its CFG.
+func build(t *testing.T, body string) *cfg.CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	// goto-into-block shapes are rejected by the type checker but not
+	// the parser; the builder is purely syntactic, so that is exactly
+	// what we want to stress.
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fd.Body)
+}
+
+// callsIn reports whether b's nodes contain a call to the named
+// function (calls are how tests tag blocks in fixture bodies).
+func callsIn(b *cfg.Block, name string) bool {
+	found := false
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(n ast.Node) bool {
+			// A RangeStmt node carries its whole subtree; the body's
+			// calls belong to the body block, not the head.
+			if _, ok := n.(*ast.BlockStmt); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// blockCalling returns the unique block containing a call to name.
+func blockCalling(t *testing.T, g *cfg.CFG, name string) *cfg.Block {
+	t.Helper()
+	var hit *cfg.Block
+	for _, b := range g.Blocks {
+		if callsIn(b, name) {
+			if hit != nil {
+				t.Fatalf("call %s() appears in b%d and b%d\n%s", name, hit.Index, b.Index, g)
+			}
+			hit = b
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no block calls %s()\n%s", name, g)
+	}
+	return hit
+}
+
+// condBlock returns the unique branch block whose condition is the
+// bare identifier name.
+func condBlock(t *testing.T, g *cfg.CFG, name string) *cfg.Block {
+	t.Helper()
+	var hit *cfg.Block
+	for _, b := range g.Blocks {
+		if id, ok := b.Cond.(*ast.Ident); ok && id.Name == name {
+			if hit != nil {
+				t.Fatalf("cond %s appears in b%d and b%d\n%s", name, hit.Index, b.Index, g)
+			}
+			hit = b
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no branch block on cond %s\n%s", name, g)
+	}
+	return hit
+}
+
+func hasEdge(from, to *cfg.Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports graph reachability from from to to.
+func reaches(from, to *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestShortCircuitAnd(t *testing.T) {
+	g := build(t, `
+		var a, b bool
+		if a && b {
+			then()
+		} else {
+			els()
+		}
+		done()
+	`)
+	ca, cb := condBlock(t, g, "a"), condBlock(t, g, "b")
+	then, els := blockCalling(t, g, "then"), blockCalling(t, g, "els")
+	// a true → evaluate b; a false → short-circuit straight to else.
+	if ca.Succs[0] != cb {
+		t.Errorf("a's true edge should reach cond b, got b%d\n%s", ca.Succs[0].Index, g)
+	}
+	if ca.Succs[1] != els {
+		t.Errorf("a's false edge should short-circuit to else, got b%d\n%s", ca.Succs[1].Index, g)
+	}
+	if cb.Succs[0] != then || cb.Succs[1] != els {
+		t.Errorf("b should branch then/else, got b%d/b%d\n%s", cb.Succs[0].Index, cb.Succs[1].Index, g)
+	}
+}
+
+func TestShortCircuitNegatedOr(t *testing.T) {
+	g := build(t, `
+		var a, b bool
+		if !(a || b) {
+			then()
+		}
+		done()
+	`)
+	ca, cb := condBlock(t, g, "a"), condBlock(t, g, "b")
+	then, done := blockCalling(t, g, "then"), blockCalling(t, g, "done")
+	// !(a || b): a true → condition false → done; a false → try b.
+	if ca.Succs[0] != done {
+		t.Errorf("a's true edge should skip then, got b%d\n%s", ca.Succs[0].Index, g)
+	}
+	if ca.Succs[1] != cb {
+		t.Errorf("a's false edge should evaluate b, got b%d\n%s", ca.Succs[1].Index, g)
+	}
+	if cb.Succs[0] != done || cb.Succs[1] != then {
+		t.Errorf("b's edges should be swapped by negation, got b%d/b%d\n%s", cb.Succs[0].Index, cb.Succs[1].Index, g)
+	}
+	// The recorded conditions are the bare operands — negation lives in
+	// the edge order, so Branch refiners never see a ! wrapper.
+	if _, ok := ca.Cond.(*ast.Ident); !ok {
+		t.Errorf("cond should be the bare operand, got %T", ca.Cond)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := build(t, `
+		var a, b bool
+	outer:
+		for i := 0; i < 10; i++ {
+			for j := 0; j < 10; j++ {
+				if a {
+					break outer
+				}
+				if b {
+					continue outer
+				}
+				body()
+			}
+		}
+		after()
+	`)
+	after := blockCalling(t, g, "after")
+	ca, cb := condBlock(t, g, "a"), condBlock(t, g, "b")
+
+	// break outer: the then-block jumps straight to the statement after
+	// the outer loop, not the inner loop's done block.
+	brk := ca.Succs[0]
+	if len(brk.Succs) != 1 || brk.Succs[0] != after {
+		t.Errorf("break outer should edge to after(), got %v\n%s", brk.Succs, g)
+	}
+	// continue outer: jumps to the outer loop's post statement (i++).
+	cont := cb.Succs[0]
+	if len(cont.Succs) != 1 {
+		t.Fatalf("continue block should have one successor\n%s", g)
+	}
+	post := cont.Succs[0]
+	isInc := len(post.Nodes) == 1
+	if isInc {
+		_, isInc = post.Nodes[0].(*ast.IncDecStmt)
+	}
+	if !isInc {
+		t.Errorf("continue outer should edge to the outer post block (i++), got b%d %s\n%s", post.Index, post.Kind, g)
+	}
+	// And the loops still cycle: body can re-reach both conditions.
+	body := blockCalling(t, g, "body")
+	if !reaches(body, ca) || !reaches(body, cb) {
+		t.Errorf("loop body should re-reach its conditions\n%s", g)
+	}
+}
+
+func TestGotoIntoAndOutOfLoop(t *testing.T) {
+	// goto into a loop body is a typecheck error but parses; the
+	// builder is syntactic and must still produce a sane graph.
+	g := build(t, `
+		var a bool
+		goto inside
+		for i := 0; i < 3; i++ {
+		inside:
+			body()
+			if a {
+				goto after
+			}
+		}
+		mid()
+	after:
+		end()
+	`)
+	inside := blockCalling(t, g, "body")
+	end := blockCalling(t, g, "end")
+	if !hasEdge(g.Entry, inside) {
+		t.Errorf("goto inside should edge from entry into the loop body\n%s", g)
+	}
+	ca := condBlock(t, g, "a")
+	jump := ca.Succs[0]
+	if len(jump.Succs) != 1 || jump.Succs[0] != end {
+		t.Errorf("goto after should jump out of the loop to end(), got %v\n%s", jump.Succs, g)
+	}
+	// mid() sits between the loop and the label and is still reachable
+	// via normal loop exit, falling through into the label block.
+	mid := blockCalling(t, g, "mid")
+	if !hasEdge(mid, end) {
+		t.Errorf("mid() should fall through into the labeled block\n%s", g)
+	}
+}
+
+func TestGotoBackwardLoop(t *testing.T) {
+	g := build(t, `
+		var a bool
+	top:
+		body()
+		if a {
+			goto top
+		}
+		end()
+	`)
+	top := blockCalling(t, g, "body")
+	ca := condBlock(t, g, "a")
+	jump := ca.Succs[0]
+	if len(jump.Succs) != 1 || jump.Succs[0] != top {
+		t.Errorf("backward goto should close a cycle to top\n%s", g)
+	}
+	if !reaches(top, top.Succs[0]) || !reaches(ca, top) {
+		t.Errorf("goto loop should be cyclic\n%s", g)
+	}
+}
+
+func TestDeferInLoop(t *testing.T) {
+	g := build(t, `
+		for i := 0; i < 3; i++ {
+			defer cleanup()
+		}
+		done()
+	`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("want 1 collected defer, got %d", len(g.Defers))
+	}
+	// The DeferStmt node stays in its (loop body) block, so a replay
+	// sees it in source position; the exit-edge modelling is the
+	// pass's job via g.Defers.
+	db := blockCalling(t, g, "cleanup")
+	if _, ok := db.Nodes[0].(*ast.DeferStmt); !ok {
+		t.Errorf("defer should be a node of its block, got %T\n%s", db.Nodes[0], g)
+	}
+	done := blockCalling(t, g, "done")
+	if !reaches(db, done) {
+		t.Errorf("loop body should reach the loop exit\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+		var x int
+		switch x {
+		case 1:
+			one()
+			fallthrough
+		case 2:
+			two()
+		case 3:
+			three()
+		default:
+			def()
+		}
+		done()
+	`)
+	one, two, three := blockCalling(t, g, "one"), blockCalling(t, g, "two"), blockCalling(t, g, "three")
+	def, done := blockCalling(t, g, "def"), blockCalling(t, g, "done")
+	if !hasEdge(one, two) {
+		t.Errorf("fallthrough should edge case 1 → case 2\n%s", g)
+	}
+	if hasEdge(one, done) {
+		t.Errorf("a fallthrough case must not edge to done directly\n%s", g)
+	}
+	for _, b := range []*cfg.Block{two, three, def} {
+		if !hasEdge(b, done) {
+			t.Errorf("case b%d should edge to done\n%s", b.Index, g)
+		}
+	}
+	// With a default clause the dispatch block cannot skip every case.
+	dispatch := one.Preds[0]
+	if hasEdge(dispatch, done) {
+		t.Errorf("dispatch must not bypass a switch that has a default\n%s", g)
+	}
+	for _, b := range []*cfg.Block{one, two, three, def} {
+		if !hasEdge(dispatch, b) {
+			t.Errorf("dispatch should fan out to case b%d\n%s", b.Index, g)
+		}
+	}
+}
+
+func TestSwitchNoDefaultBypasses(t *testing.T) {
+	g := build(t, `
+		var x int
+		switch x {
+		case 1:
+			one()
+		}
+		done()
+	`)
+	one, done := blockCalling(t, g, "one"), blockCalling(t, g, "done")
+	dispatch := one.Preds[0]
+	if !hasEdge(dispatch, done) {
+		t.Errorf("switch without default should edge dispatch → done\n%s", g)
+	}
+}
+
+func TestReturnAndUnreachable(t *testing.T) {
+	g := build(t, `
+		var a bool
+		if a {
+			return
+		}
+		live()
+		return
+		dead()
+	`)
+	ca := condBlock(t, g, "a")
+	if !hasEdge(ca.Succs[0], g.Exit) {
+		t.Errorf("return should edge to exit\n%s", g)
+	}
+	dead := blockCalling(t, g, "dead")
+	if len(dead.Preds) != 0 {
+		t.Errorf("statements after return should be predecessor-less\n%s", g)
+	}
+}
+
+// assignedVars is a may-analysis used to exercise the solver: the set
+// of variable names that may have been assigned.
+func assignedVars() cfg.Flow[map[string]bool] {
+	return cfg.Flow[map[string]bool]{
+		Entry: map[string]bool{},
+		Transfer: func(n ast.Node, st map[string]bool) map[string]bool {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if as, ok := n.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							st[id.Name] = true
+						}
+					}
+				}
+				return true
+			})
+			return st
+		},
+		Join: func(a, b map[string]bool) map[string]bool {
+			for k := range b {
+				a[k] = true
+			}
+			return a
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(a map[string]bool) map[string]bool {
+			c := make(map[string]bool, len(a))
+			for k, v := range a {
+				c[k] = v
+			}
+			return c
+		},
+	}
+}
+
+func TestSolverFixpointOnLoops(t *testing.T) {
+	g := build(t, `
+		var a, b bool
+		x := 1
+	outer:
+		for i := 0; i < 10; i++ {
+			for j := 0; j < 10; j++ {
+				if a {
+					y := 2
+					_ = y
+					continue outer
+				}
+				if b {
+					goto rejoin
+				}
+			}
+		}
+	rejoin:
+		done()
+		_ = x
+	`)
+	res := cfg.Solve(g, assignedVars())
+	if !res.Converged {
+		t.Fatalf("monotone flow must converge (%d iterations)\n%s", res.Iterations, g)
+	}
+	in, ok := res.In[blockCalling(t, g, "done")]
+	if !ok {
+		t.Fatalf("done() should be reachable\n%s", g)
+	}
+	for _, v := range []string{"x", "i", "j", "y"} {
+		if !in[v] {
+			t.Errorf("may-assigned at done() should include %q, got %v", v, in)
+		}
+	}
+	if _, ok := res.In[g.Exit]; !ok {
+		t.Errorf("exit should be reachable")
+	}
+}
+
+func TestSolverBranchRefinement(t *testing.T) {
+	g := build(t, `
+		var ok bool
+		if ok {
+			held()
+		} else {
+			idle()
+		}
+	`)
+	flow := cfg.Flow[map[string]bool]{
+		Entry:    map[string]bool{},
+		Transfer: func(n ast.Node, st map[string]bool) map[string]bool { return st },
+		Branch: func(cond ast.Expr, out map[string]bool) (map[string]bool, map[string]bool) {
+			tOut := map[string]bool{"held": true}
+			return tOut, out
+		},
+		Join:  assignedVars().Join,
+		Equal: assignedVars().Equal,
+		Clone: assignedVars().Clone,
+	}
+	res := cfg.Solve(g, flow)
+	if !res.Converged {
+		t.Fatal("must converge")
+	}
+	if in := res.In[blockCalling(t, g, "held")]; !in["held"] {
+		t.Errorf("true edge should carry the refinement, got %v", in)
+	}
+	if in := res.In[blockCalling(t, g, "idle")]; in["held"] {
+		t.Errorf("false edge must not carry the refinement, got %v", in)
+	}
+}
+
+func TestSolverIterationCap(t *testing.T) {
+	g := build(t, `
+		for {
+			spin()
+		}
+	`)
+	n := 0
+	flow := cfg.Flow[int]{
+		// A deliberately non-monotone flow: every visit produces a new
+		// state, so only the cap stops iteration.
+		Transfer: func(ast.Node, int) int { n++; return n },
+		Join:     func(a, b int) int { return a + b },
+		Equal:    func(a, b int) bool { return false },
+		Clone:    func(a int) int { return a },
+		MaxIter:  100,
+	}
+	res := cfg.Solve(g, flow)
+	if res.Converged {
+		t.Fatal("non-monotone flow should hit the iteration cap")
+	}
+	if res.Iterations != 100 {
+		t.Fatalf("iterations = %d, want exactly the cap", res.Iterations)
+	}
+}
+
+func TestSelectAndRange(t *testing.T) {
+	g := build(t, `
+		var ch chan int
+		var xs []int
+		for _, v := range xs {
+			use(v)
+		}
+		select {
+		case v := <-ch:
+			recv(v)
+		default:
+			idle()
+		}
+		done()
+	`)
+	use, recv, idle, done := blockCalling(t, g, "use"), blockCalling(t, g, "recv"), blockCalling(t, g, "idle"), blockCalling(t, g, "done")
+	// range body cycles back through the head, which can exit.
+	if !reaches(use, use) {
+		t.Errorf("range body should be cyclic\n%s", g)
+	}
+	if !reaches(use, done) || !reaches(recv, done) || !reaches(idle, done) {
+		t.Errorf("all arms should reach done\n%s", g)
+	}
+	res := cfg.Solve(g, assignedVars())
+	if !res.Converged {
+		t.Fatal("must converge")
+	}
+	if in := res.In[done]; !in["v"] {
+		t.Errorf("may-assigned at done() should include range/comm var v, got %v", in)
+	}
+}

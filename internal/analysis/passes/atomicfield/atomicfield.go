@@ -1,0 +1,248 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields: a field that is touched through sync/atomic anywhere in the
+// program must never be read or written plainly anywhere else. Mixing
+// the two is the classic torn-counter bug — the plain access races
+// with the atomic ones, and -race only catches it when the interleaving
+// actually fires under the detector; statically the contract is simply
+// "pick one discipline per field".
+//
+// Two field shapes are checked:
+//
+//   - old-style fields (uint64 etc.) passed by address to the
+//     sync/atomic functions (atomic.AddUint64(&s.n, 1)): every other
+//     selector access to the same field object must also be an atomic
+//     call argument. The atomic and plain sightings are exported as
+//     object facts (AtomicAccessFact / PlainAccessFact) on the field,
+//     so a package that atomically increments a counter declared
+//     upstream — or plainly reads one that upstream increments
+//     atomically — is caught across package boundaries, whichever
+//     side go vet compiles first.
+//   - typed atomics (atomic.Uint64, atomic.Pointer[T], ...) are safe
+//     by construction through their methods, but copying one by value
+//     forks the counter and tears the discipline; any use of such a
+//     field that is neither a method access nor an address-of is
+//     flagged locally.
+//
+// Matching is by package *name* ("atomic"), like every pass in this
+// suite, so import-free-adjacent fixtures can declare a local atomic
+// stand-in package and the analyzer behaves identically.
+//
+// Initialization-before-publication writes (constructors) are
+// deliberately not special-cased: a justified //lint:ignore is the
+// reviewable escape, mirroring go vet's own atomic checkers.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicfield",
+	Doc:       "check that a field accessed via sync/atomic is never read or written plainly elsewhere",
+	Run:       run,
+	FactTypes: []analysis.Fact{&AtomicAccessFact{}, &PlainAccessFact{}},
+}
+
+// AtomicAccessFact marks a field as accessed through sync/atomic
+// somewhere; Pos is one such site ("file:line:col").
+type AtomicAccessFact struct{ Pos string }
+
+// AFact marks AtomicAccessFact as a fact.
+func (*AtomicAccessFact) AFact() {}
+
+// PlainAccessFact marks a field as read/written plainly somewhere;
+// Pos is one such site.
+type PlainAccessFact struct{ Pos string }
+
+// AFact marks PlainAccessFact as a fact.
+func (*PlainAccessFact) AFact() {}
+
+// atomicVerbs are the sync/atomic function-name prefixes that take an
+// address (LoadUint64, AddInt32, CompareAndSwapPointer, OrUint32...).
+var atomicVerbs = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+func run(pass *analysis.Pass) error {
+	atomicUses := map[*types.Var][]token.Pos{}
+	plainUses := map[*types.Var][]token.Pos{}
+
+	for _, file := range pass.Files {
+		parents := parentMap(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if isAtomicType(field.Type()) {
+				checkTypedUse(pass, parents, sel, field)
+				return true
+			}
+			if !atomicCapable(field.Type()) {
+				return true
+			}
+			if isAtomicCallArg(pass.TypesInfo, parents, sel) {
+				atomicUses[field] = append(atomicUses[field], sel.Pos())
+			} else {
+				plainUses[field] = append(plainUses[field], sel.Pos())
+			}
+			return true
+		})
+	}
+	for _, uses := range [2]map[*types.Var][]token.Pos{atomicUses, plainUses} {
+		for _, ps := range uses {
+			sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		}
+	}
+
+	// Report every plain site of a field that is atomic here or in a
+	// dependency.
+	for field, plains := range plainUses {
+		atomicAt := ""
+		if as := atomicUses[field]; len(as) > 0 {
+			atomicAt = pass.Fset.Position(as[0]).String()
+		} else {
+			var af AtomicAccessFact
+			if pass.ImportObjectFact(field, &af) {
+				atomicAt = af.Pos
+			}
+		}
+		if atomicAt == "" {
+			continue
+		}
+		for _, p := range plains {
+			pass.Reportf(p, "plain access to field %s, which is accessed via sync/atomic at %s; every access to an atomic field must go through sync/atomic", field.Name(), atomicAt)
+		}
+	}
+	// And the symmetric case: this package is the atomic side of a
+	// field a dependency touches plainly (the plain side was compiled
+	// first and could not see our atomics).
+	for field, atomics := range atomicUses {
+		if len(plainUses[field]) > 0 {
+			continue // already reported above, at the plain sites
+		}
+		var pf PlainAccessFact
+		if pass.ImportObjectFact(field, &pf) {
+			pass.Reportf(atomics[0], "atomic access to field %s, which is read/written plainly at %s; every access to an atomic field must go through sync/atomic", field.Name(), pf.Pos)
+		}
+	}
+
+	for field, uses := range atomicUses {
+		pass.ExportObjectFact(field, &AtomicAccessFact{Pos: pass.Fset.Position(uses[0]).String()})
+	}
+	for field, uses := range plainUses {
+		pass.ExportObjectFact(field, &PlainAccessFact{Pos: pass.Fset.Position(uses[0]).String()})
+	}
+	return nil
+}
+
+// checkTypedUse flags value copies of a typed-atomic field: any use
+// that is neither a method access (c.n.Add) nor an address-of (&c.n).
+func checkTypedUse(pass *analysis.Pass, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr, field *types.Var) {
+	p := parents[sel]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = parents[pe]
+	}
+	switch p := p.(type) {
+	case *ast.SelectorExpr:
+		return // c.n.Load(), c.n.Store(v): the methods are the API
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &c.n: passing the atomic by pointer is fine
+		}
+	}
+	pass.Reportf(sel.Pos(), "atomic field %s copied by value; a %s must be used through its methods (or passed by pointer)", field.Name(), types.TypeString(field.Type(), func(p *types.Package) string { return p.Name() }))
+}
+
+// isAtomicCallArg reports whether sel appears as &sel in a call to a
+// sync/atomic address-taking function (atomic.AddUint64(&s.n, 1)).
+func isAtomicCallArg(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	un, ok := parents[sel].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	call, ok := parents[un].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := fun.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[pkgID].(*types.PkgName)
+	if !ok || pkgName.Imported().Name() != "atomic" {
+		return false
+	}
+	for _, v := range atomicVerbs {
+		if strings.HasPrefix(fun.Sel.Name, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicType reports whether t is a named type declared in a package
+// named "atomic" (sync/atomic's Uint64, Pointer[T], ... or a fixture
+// stand-in).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "atomic"
+}
+
+// atomicCapable reports whether t is one of the primitive types the
+// address-taking sync/atomic functions operate on — the only fields
+// whose access discipline this pass tracks (and states facts about).
+func atomicCapable(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ok
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr, types.UnsafePointer:
+		return true
+	}
+	return false
+}
+
+// parentMap records each node's syntactic parent within file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,14 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Packages(t, "testdata/src",
+		[]string{"atomic", "mixed", "mixeduser"},
+		atomicfield.Analyzer)
+}

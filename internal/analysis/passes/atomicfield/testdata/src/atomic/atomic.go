@@ -1,0 +1,41 @@
+// Package atomic is the fixture stand-in for sync/atomic: the
+// analyzer matches the package by name, so these declarations give
+// fixtures the same shapes (address-taking functions and typed
+// atomics) without importing the real thing.
+package atomic
+
+// Uint64 stands in for sync/atomic's typed counter.
+type Uint64 struct{ v uint64 }
+
+// Load returns the value.
+func (u *Uint64) Load() uint64 { return u.v }
+
+// Store sets the value.
+func (u *Uint64) Store(x uint64) { u.v = x }
+
+// Add adds d and returns the new value.
+func (u *Uint64) Add(d uint64) uint64 {
+	u.v += d
+	return u.v
+}
+
+// LoadUint64 stands in for the address-taking load.
+func LoadUint64(p *uint64) uint64 { return *p }
+
+// StoreUint64 stands in for the address-taking store.
+func StoreUint64(p *uint64, v uint64) { *p = v }
+
+// AddUint64 stands in for the address-taking add.
+func AddUint64(p *uint64, d uint64) uint64 {
+	*p += d
+	return *p
+}
+
+// CompareAndSwapUint64 stands in for the address-taking CAS.
+func CompareAndSwapUint64(p *uint64, old, new uint64) bool {
+	if *p != old {
+		return false
+	}
+	*p = new
+	return true
+}

@@ -1,0 +1,53 @@
+// Package mixed exercises the in-package half of the atomicfield
+// contract: mixed atomic/plain fields, clean all-atomic and all-plain
+// fields, typed-atomic method use, and the value-copy violation.
+package mixed
+
+import "atomic"
+
+// Counter mixes access disciplines across its fields.
+type Counter struct {
+	hits   uint64
+	misses uint64
+	plain  uint64
+	typed  atomic.Uint64
+}
+
+// Bump is the atomic side of hits and misses.
+func (c *Counter) Bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.CompareAndSwapUint64(&c.misses, 0, 1)
+}
+
+// Read tears both counters.
+func (c *Counter) Read() uint64 {
+	n := c.hits   // want `plain access to field hits, which is accessed via sync/atomic at .*mixed\.go`
+	n += c.misses // want `plain access to field misses, which is accessed via sync/atomic at .*mixed\.go`
+	return n
+}
+
+// ReadClean keeps every access on one discipline.
+func (c *Counter) ReadClean() uint64 {
+	c.plain++ // all-plain field: fine
+	return atomic.LoadUint64(&c.hits) + c.typed.Load()
+}
+
+// Snapshot copies the typed atomic by value.
+func (c *Counter) Snapshot() uint64 {
+	t := c.typed // want `atomic field typed copied by value`
+	return t.Load()
+}
+
+// Stats is the exported surface consumed by the mixeduser fixture:
+// Ops is atomic here and read plainly there; Raw is plain here and
+// touched atomically there.
+type Stats struct {
+	Ops uint64
+	Raw uint64
+}
+
+// Inc bumps Ops atomically.
+func (s *Stats) Inc() { atomic.AddUint64(&s.Ops, 1) }
+
+// Level reads Raw plainly (the whole package agrees).
+func (s *Stats) Level() uint64 { return s.Raw }

@@ -1,0 +1,29 @@
+// Package mixeduser exercises the cross-package half of the
+// atomicfield contract, in both directions: plainly reading a field
+// whose atomic discipline is an imported fact (Stats.Ops), and
+// atomically touching a field an upstream package reads plainly
+// (Stats.Raw).
+package mixeduser
+
+import (
+	"atomic"
+	"mixed"
+)
+
+// Snapshot reads Ops plainly; mixed.Stats.Inc's atomic access arrives
+// as an AtomicAccessFact on the field (the report cites the nearest
+// atomic site, which here is Bump's in-package one).
+func Snapshot(s *mixed.Stats) uint64 {
+	return s.Ops // want `plain access to field Ops, which is accessed via sync/atomic at .*\.go`
+}
+
+// Grow is the atomic side of a field mixed reads plainly — the plain
+// side compiled first, so the report lands here, on the atomic site.
+func Grow(s *mixed.Stats) {
+	atomic.AddUint64(&s.Raw, 1) // want `atomic access to field Raw, which is read/written plainly at .*mixed\.go`
+}
+
+// Bump stays on Ops's atomic discipline: clean.
+func Bump(s *mixed.Stats) {
+	atomic.AddUint64(&s.Ops, 1)
+}

@@ -12,14 +12,25 @@
 // feedback with a stale class. The race window is invisible to the
 // race detector (Worker is single-goroutine by design), which is why
 // this is a static check.
+//
+// Liveness runs on the control-flow graph from internal/analysis/cfg
+// as a may-live dataflow: a SetClassHint adds its site to the live
+// set, a ClearClassHint empties it (any clear covers any set — the
+// hint is worker-global), and states join by union, so a hint that
+// survives *any* path to a return or to the function's end is
+// reported — including a set inside a loop whose clear a `continue`
+// skips. A deferred ClearClassHint (or SetClassHint restoring a saved
+// value) anywhere in the function covers every return path; the
+// goroutine-escape check still applies while the hint is live.
 package classhintpair
 
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
+	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 // Analyzer is the classhintpair pass.
@@ -38,171 +49,170 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// hints is the dataflow state: the set of SetClassHint sites whose
+// hint may still be live, keyed by the call's position (the value is
+// the call itself, for reporting).
+type hints map[token.Pos]*ast.CallExpr
+
 // checkFunc checks one function body. Nested function literals are
 // opaque here (FuncNodes visits them as functions in their own right):
 // the pairing contract is per-function, because a literal outlives the
 // statement that creates it.
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	lists := stmtLists(body)
+	g := cfg.New(body)
+	res := cfg.Solve(g, cfg.Flow[hints]{
+		Entry:    hints{},
+		Transfer: transfer,
+		Join: func(a, b hints) hints {
+			out := cloneHints(a)
+			for p, c := range b {
+				out[p] = c
+			}
+			return out
+		},
+		Equal: func(a, b hints) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for p := range a {
+				if _, ok := b[p]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: cloneHints,
+	})
 
 	// A deferred ClearClassHint (or SetClassHint restoring a saved
-	// value) anywhere in the function covers every return path.
+	// value) covers every return path.
 	hasDeferredRestore := false
-	for _, list := range lists {
-		for _, s := range list {
-			if d, ok := s.(*ast.DeferStmt); ok {
-				if _, name, ok := analysis.MethodCall(d.Call); ok && (name == "ClearClassHint" || name == "SetClassHint") {
-					hasDeferredRestore = true
+	for _, d := range g.Defers {
+		if _, name, ok := analysis.MethodCall(d.Call); ok && (name == "ClearClassHint" || name == "SetClassHint") {
+			hasDeferredRestore = true
+		}
+	}
+
+	type leak struct {
+		set *ast.CallExpr
+		ret token.Pos // NoPos for the fall-off-end form
+	}
+	var leaks []leak
+	seen := map[leak]bool{}
+	report := func(l leak) {
+		if !seen[l] {
+			seen[l] = true
+			leaks = append(leaks, l)
+		}
+	}
+
+	for _, b := range g.Blocks {
+		in, reachable := res.In[b]
+		if !reachable {
+			continue
+		}
+		st := cloneHints(in)
+		fallsToExit := blockEdgesTo(b, g.Exit)
+		for _, n := range b.Nodes {
+			// A goroutine spawned while any hint is live may capture
+			// the hinted worker — defers don't help, the goroutine
+			// outlives them.
+			if gs, ok := n.(*ast.GoStmt); ok {
+				for _, set := range sortedHints(st) {
+					recv, _, _ := analysis.MethodCall(set)
+					target := analysis.LeafObj(pass.TypesInfo, recv)
+					if target == nil || analysis.ReferencesObj(pass.TypesInfo, gs.Call, target) {
+						pass.Reportf(gs.Pos(), "goroutine spawned while a ClassHint set at line %d is live may capture the hinted worker",
+							pass.Fset.Position(set.Pos()).Line)
+					}
 				}
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok && !hasDeferredRestore {
+				for _, set := range sortedHints(st) {
+					report(leak{set: set, ret: ret.Pos()})
+				}
+				fallsToExit = false // this exit is accounted for
+			}
+			st = transfer(n, st)
+		}
+		// A block that reaches Exit without a return is the implicit
+		// end of the function: a hint live there was never paired.
+		if fallsToExit && !hasDeferredRestore {
+			for _, set := range sortedHints(st) {
+				report(leak{set: set})
 			}
 		}
 	}
 
-	for _, list := range lists {
-		for i, s := range list {
-			call, isSet := hintCall(s, "SetClassHint")
-			if !isSet {
-				continue
-			}
-			regionEnd := body.End()
-			if !hasDeferredRestore {
-				clearIdx := -1
-				for j := i + 1; j < len(list); j++ {
-					if _, ok := hintCall(list[j], "ClearClassHint"); ok {
-						clearIdx = j
-						break
-					}
-				}
-				if clearIdx < 0 {
-					pass.Reportf(call.Pos(), "SetClassHint is not paired with a defer ClearClassHint or a clear on all return paths in this function")
-				} else {
-					regionEnd = list[clearIdx].Pos()
-					// Every return between the set and its clear must
-					// itself sit behind a clear in its own block.
-					for j := i + 1; j < clearIdx; j++ {
-						ast.Inspect(list[j], func(n ast.Node) bool {
-							if _, ok := n.(*ast.FuncLit); ok {
-								return false
-							}
-							ret, ok := n.(*ast.ReturnStmt)
-							if !ok {
-								return true
-							}
-							if !returnCovered(lists, ret) {
-								pass.Reportf(call.Pos(), "SetClassHint may leak: return at line %d is not preceded by ClearClassHint",
-									pass.Fset.Position(ret.Pos()).Line)
-							}
-							return true
-						})
-					}
-				}
-			}
-			checkGoroutineEscape(pass, body, call, regionEnd)
+	sort.Slice(leaks, func(i, j int) bool {
+		if leaks[i].set.Pos() != leaks[j].set.Pos() {
+			return leaks[i].set.Pos() < leaks[j].set.Pos()
+		}
+		return leaks[i].ret < leaks[j].ret
+	})
+	for _, l := range leaks {
+		if l.ret == token.NoPos {
+			pass.Reportf(l.set.Pos(), "SetClassHint is not paired with a defer ClearClassHint or a clear on all return paths in this function")
+		} else {
+			pass.Reportf(l.set.Pos(), "SetClassHint may leak: return at line %d is not preceded by ClearClassHint",
+				pass.Fset.Position(l.ret).Line)
 		}
 	}
 }
 
-// hintCall matches a statement of the form recv.<method>(...).
-func hintCall(s ast.Stmt, method string) (*ast.CallExpr, bool) {
-	es, ok := s.(*ast.ExprStmt)
+// transfer applies one node's hint effect: a SetClassHint statement
+// adds its site, a ClearClassHint statement clears every live hint
+// (the hint is a single worker-global slot, so any clear covers any
+// set). Deferred calls have no flow effect — they run at exit and are
+// handled by the deferred-restore check.
+func transfer(n ast.Node, st hints) hints {
+	s, ok := n.(*ast.ExprStmt)
 	if !ok {
-		return nil, false
+		return st
 	}
-	call, ok := es.X.(*ast.CallExpr)
+	call, ok := s.X.(*ast.CallExpr)
 	if !ok {
-		return nil, false
+		return st
 	}
-	if _, name, ok := analysis.MethodCall(call); !ok || name != method {
-		return nil, false
+	_, name, ok := analysis.MethodCall(call)
+	if !ok {
+		return st
 	}
-	return call, true
+	switch name {
+	case "SetClassHint":
+		st = cloneHints(st)
+		st[call.Pos()] = call
+	case "ClearClassHint":
+		st = hints{}
+	}
+	return st
 }
 
-// returnCovered reports whether ret's innermost statement list
-// contains a ClearClassHint call before the return.
-func returnCovered(lists [][]ast.Stmt, ret *ast.ReturnStmt) bool {
-	for _, list := range lists {
-		for i, s := range list {
-			if s != ast.Stmt(ret) {
-				continue
-			}
-			for j := 0; j < i; j++ {
-				if _, ok := hintCall(list[j], "ClearClassHint"); ok {
-					return true
-				}
-			}
-			return false
+func cloneHints(st hints) hints {
+	out := make(hints, len(st))
+	for p, c := range st {
+		out[p] = c
+	}
+	return out
+}
+
+// sortedHints returns the live set calls in source order, for
+// deterministic reports.
+func sortedHints(st hints) []*ast.CallExpr {
+	out := make([]*ast.CallExpr, 0, len(st))
+	for _, c := range st {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// blockEdgesTo reports whether b has an edge to target.
+func blockEdgesTo(b, target *cfg.Block) bool {
+	for _, s := range b.Succs {
+		if s == target {
+			return true
 		}
 	}
 	return false
-}
-
-// checkGoroutineEscape flags a go statement spawned while the hint
-// installed by set is still live (between the set and its clear, or
-// anywhere after the set in the defer form) whose function references
-// the hinted worker: the goroutine would observe — or race with — an
-// operation-scoped override on a single-goroutine Worker.
-func checkGoroutineEscape(pass *analysis.Pass, body *ast.BlockStmt, set *ast.CallExpr, regionEnd token.Pos) {
-	recv, _, _ := analysis.MethodCall(set)
-	target := leafObj(pass.TypesInfo, recv)
-	ast.Inspect(body, func(n ast.Node) bool {
-		g, ok := n.(*ast.GoStmt)
-		if !ok {
-			return true
-		}
-		if g.Pos() <= set.End() || g.Pos() >= regionEnd {
-			return true
-		}
-		if target == nil || referencesObj(pass.TypesInfo, g.Call, target) {
-			pass.Reportf(g.Pos(), "goroutine spawned while a ClassHint set at line %d is live may capture the hinted worker",
-				pass.Fset.Position(set.Pos()).Line)
-		}
-		return true
-	})
-}
-
-// leafObj resolves the object a receiver chain ends in: the variable
-// for w.SetClassHint, the field for s.w.SetClassHint.
-func leafObj(info *types.Info, e ast.Expr) types.Object {
-	switch e := e.(type) {
-	case *ast.Ident:
-		return info.Uses[e]
-	case *ast.SelectorExpr:
-		return info.Uses[e.Sel]
-	case *ast.ParenExpr:
-		return leafObj(info, e.X)
-	}
-	return nil
-}
-
-func referencesObj(info *types.Info, n ast.Node, target types.Object) bool {
-	found := false
-	ast.Inspect(n, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == target {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// stmtLists enumerates every statement list in body — block bodies,
-// switch/select clause bodies — without descending into function
-// literals.
-func stmtLists(body *ast.BlockStmt) [][]ast.Stmt {
-	var out [][]ast.Stmt
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.BlockStmt:
-			out = append(out, n.List)
-		case *ast.CaseClause:
-			out = append(out, n.Body)
-		case *ast.CommClause:
-			out = append(out, n.Body)
-		}
-		return true
-	})
-	return out
 }

@@ -42,7 +42,25 @@ func escapesWithDefer(w *Worker) {
 	go func() { _ = w.hint }() // want `goroutine spawned while a ClassHint`
 }
 
+func leaksViaContinue(w *Worker, xs []int) {
+	for _, x := range xs {
+		w.SetClassHint(1) // want `SetClassHint is not paired`
+		if x > 0 {
+			continue // skips the clear below: the hint survives the loop
+		}
+		w.ClearClassHint()
+	}
+}
+
 // --- conforming ---
+
+func okLoopPaired(w *Worker, xs []int) {
+	for _, x := range xs {
+		w.SetClassHint(Class(x))
+		doWork()
+		w.ClearClassHint()
+	}
+}
 
 func okDefer(w *Worker) {
 	w.SetClassHint(1)

@@ -16,18 +16,23 @@
 //     acquires shard locks and can self-deadlock or invert the
 //     ancestor→descendant split order).
 //
-// Region tracking is lexical and flow-insensitive per statement list:
-// an Acquire statement opens a region that a Release of the same lock
-// expression in the same list closes ("sh.lock" and the "sh" of
-// sh.electTry(w) canonicalize to the same key); a region still open at
-// a nested block's entry is inherited by the block; releases inside a
-// conditional close the region only for that branch. Successful-
-// TryAcquire regions are recognized both as `if X.TryAcquire(w) {...}`
-// (held inside the branch) and as the early-return form
-// `if !X.TryAcquire(w) { return }` (held after the if). A helper that
-// returns with the lock held (acquireLive) opens no lexical region —
-// an accepted false negative; those call sites are covered by
-// convention and tests.
+// Held-region tracking runs on the control-flow graph from
+// internal/analysis/cfg as a may-held dataflow: an Acquire adds the
+// lock's canonical key ("sh.lock" and the "sh" of sh.electTry(w)
+// canonicalize to the same key), a Release removes it, and states join
+// by union at merge points, so a lock held on *any* path into a
+// statement flags that statement. TryAcquire/electTry used as a branch
+// condition adds the key only on the success edge — both the
+// `if X.TryAcquire(w) {...}` form and the negated early-return form
+// `if !X.TryAcquire(w) { return }` fall out of edge refinement, as do
+// acquisitions that survive a labeled break or goto out of a loop.
+// `defer X.Release(w)` keeps the region open to function end — which
+// "never remove" already models — and the deferred call itself runs
+// after every scanned statement, so it is not scanned. A helper that
+// returns with the lock held (acquireLive) still opens no region here
+// — an accepted false negative; those call sites are covered by
+// convention and tests, and the cross-function case is the lockorder
+// pass's territory.
 package lockheldcall
 
 import (
@@ -35,6 +40,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 // Analyzer is the lockheldcall pass.
@@ -61,7 +67,7 @@ func run(pass *analysis.Pass) error {
 				pass:      pass,
 				callbacks: analysis.FuncParamObjs(pass.TypesInfo, ft),
 			}
-			c.block(body.List, map[string]bool{})
+			c.checkBody(body)
 		})
 	}
 	return nil
@@ -72,145 +78,83 @@ type checker struct {
 	callbacks map[types.Object]bool
 }
 
-// block walks one statement list with the set of lock keys held at
-// its entry, threading acquisitions and releases through in order.
-func (c *checker) block(list []ast.Stmt, held map[string]bool) {
-	for _, s := range list {
-		held = c.stmt(s, held)
+// checkBody solves the may-held dataflow over body's CFG, then replays
+// each reachable block from its fixed-point in-state to report
+// violations exactly once per site.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := cfg.Solve(g, cfg.Flow[map[string]bool]{
+		Entry:    map[string]bool{},
+		Transfer: c.transfer,
+		Branch: func(cond ast.Expr, st map[string]bool) (map[string]bool, map[string]bool) {
+			// X.TryAcquire(w) / X.electTry(w): held only on the true
+			// edge. The builder normalizes `!cond` by swapping edges,
+			// so the early-return form needs no special case.
+			if key, ok := tryAcquireCond(cond, c.pass.TypesInfo); ok {
+				t := clone(st)
+				t[key] = true
+				return t, st
+			}
+			return st, st
+		},
+		Join:  union,
+		Equal: sameKeys,
+		Clone: clone,
+	})
+	for _, b := range g.Blocks {
+		in, reachable := res.In[b]
+		if !reachable {
+			continue
+		}
+		st := clone(in)
+		for _, n := range b.Nodes {
+			c.scan(n, st)
+			st = c.transfer(n, st)
+		}
 	}
 }
 
-// stmt processes one statement under the current held set and returns
-// the held set for the statements that follow it in the same list.
-func (c *checker) stmt(s ast.Stmt, held map[string]bool) map[string]bool {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if key, kind, ok := lockOp(s.X); ok {
-			switch kind {
-			case "Acquire":
-				held = clone(held)
-				held[key] = true
-				return held
-			case "Release":
-				held = clone(held)
-				delete(held, key)
-				return held
-			}
-		}
-		c.scan(s, held)
-		return held
-
-	case *ast.BlockStmt:
-		c.block(s.List, clone(held))
-		return held
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held = c.stmt(s.Init, held)
-		}
-		// `if X.TryAcquire(w) { ... }`: held inside the branch.
-		if key, ok := tryAcquireCond(s.Cond, c.pass.TypesInfo); ok {
-			inner := clone(held)
-			inner[key] = true
-			c.block(s.Body.List, inner)
-			if s.Else != nil {
-				c.stmt(s.Else, clone(held))
-			}
-			return held
-		}
-		// `if !X.TryAcquire(w) { return }`: held after the if.
-		if un, okNeg := s.Cond.(*ast.UnaryExpr); okNeg && un.Op.String() == "!" {
-			if key, ok := tryAcquireCond(un.X, c.pass.TypesInfo); ok && terminates(s.Body) {
-				c.block(s.Body.List, clone(held))
-				held = clone(held)
-				held[key] = true
-				return held
-			}
-		}
-		c.scanExpr(s.Cond, held)
-		c.block(s.Body.List, clone(held))
-		if s.Else != nil {
-			c.stmt(s.Else, clone(held))
-		}
-		return held
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			c.scanExpr(s.Cond, held)
-		}
-		c.block(s.Body.List, clone(held))
-		return held
-
-	case *ast.RangeStmt:
-		c.scanExpr(s.X, held)
-		c.block(s.Body.List, clone(held))
-		return held
-
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			held = c.stmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			c.scanExpr(s.Tag, held)
-		}
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				c.block(cc.Body, clone(held))
-			}
-		}
-		return held
-
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			held = c.stmt(s.Init, held)
-		}
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				c.block(cc.Body, clone(held))
-			}
-		}
-		return held
-
-	case *ast.SelectStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CommClause); ok {
-				if cc.Comm != nil {
-					c.stmt(cc.Comm, clone(held))
-				}
-				c.block(cc.Body, clone(held))
-			}
-		}
-		return held
-
-	case *ast.LabeledStmt:
-		return c.stmt(s.Stmt, held)
-
-	case *ast.DeferStmt:
-		// `defer X.Release(w)` keeps the region open to function end —
-		// which "never close" already models; the deferred call itself
-		// runs after this lexical region, so it is not scanned.
-		return held
-
-	default:
-		c.scan(s, held)
+// transfer applies one node's effect on the held set: Acquire adds,
+// Release removes, everything else is a no-op.
+func (c *checker) transfer(n ast.Node, held map[string]bool) map[string]bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
 		return held
 	}
+	if key, kind, ok := lockOp(es.X); ok {
+		held = clone(held)
+		switch kind {
+		case "Acquire":
+			held[key] = true
+		case "Release":
+			delete(held, key)
+		}
+	}
+	return held
 }
 
-// scan inspects a simple statement's subtree for violations under the
+// scan inspects one CFG node's subtree for violations under the
 // current held set. Function-literal bodies are skipped: defining a
 // closure under the lock is fine, only running one is not (a direct
 // call of a literal still surfaces via its CallExpr arguments).
+// Nested statement blocks are skipped too — a RangeStmt node carries
+// its whole subtree, but the body's statements are scanned by their
+// own blocks under their own in-states.
 func (c *checker) scan(n ast.Node, held map[string]bool) {
 	if len(held) == 0 {
 		return
 	}
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		return // runs at function exit, after every scanned statement
+	case *ast.ExprStmt:
+		if _, _, ok := lockOp(s.X); ok {
+			return // the region boundary itself is not a violation
+		}
+	}
 	ast.Inspect(n, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.FuncLit:
+		case *ast.FuncLit, *ast.BlockStmt:
 			return false
 		case *ast.SendStmt:
 			c.pass.Reportf(n.Pos(), "channel send while a shard lock is held; complete futures after Release")
@@ -219,12 +163,6 @@ func (c *checker) scan(n ast.Node, held map[string]bool) {
 		}
 		return true
 	})
-}
-
-func (c *checker) scanExpr(e ast.Expr, held map[string]bool) {
-	if e != nil {
-		c.scan(e, held)
-	}
 }
 
 // checkCall flags a single call made while a lock is held.
@@ -279,29 +217,30 @@ func tryAcquireCond(e ast.Expr, info *types.Info) (string, bool) {
 	return analysis.ExprKey(recv), true
 }
 
-// terminates reports whether a block always transfers control away
-// (its last statement is a return, branch, or panic call).
-func terminates(b *ast.BlockStmt) bool {
-	if len(b.List) == 0 {
-		return false
-	}
-	switch last := b.List[len(b.List)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 func clone(m map[string]bool) map[string]bool {
 	out := make(map[string]bool, len(m))
 	for k, v := range m {
 		out[k] = v
 	}
 	return out
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := clone(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func sameKeys(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
 }

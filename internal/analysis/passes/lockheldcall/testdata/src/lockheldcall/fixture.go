@@ -57,7 +57,28 @@ func badElectEarlyReturn(sh *shard, w *Worker, ch chan int) {
 	sh.lock.Release(w)
 }
 
+func badLabeledBreakHold(sh *shard, w *Worker, ch chan int, n int) {
+out:
+	for i := 0; i < n; i++ {
+		sh.lock.Acquire(w)
+		if i == 3 {
+			break out // exits the loop with the lock still held
+		}
+		sh.lock.Release(w)
+	}
+	ch <- 1 // want `channel send while a shard lock is held`
+	sh.lock.Release(w)
+}
+
 // --- conforming ---
+
+func okLoopAcquireRelease(sh *shard, w *Worker, fn func(int)) {
+	for i := 0; i < 4; i++ {
+		sh.lock.Acquire(w)
+		sh.lock.Release(w)
+	}
+	fn(1) // released on every path around the loop
+}
 
 func okEmitAfterRelease(sh *shard, w *Worker, fn func(int)) {
 	sh.lock.Acquire(w)

@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Packages(t, "testdata/src",
+		[]string{"locksfix", "storefix", "consumerfix"},
+		lockorder.Analyzer)
+}

@@ -13,11 +13,16 @@
 // shadows whose outer variable is never touched again (harmless reuse
 // of a good name).
 //
-// The other stock pass the ISSUE names, nilness, is built on x/tools
-// SSA; with the offline toolchain (no module proxy, stdlib only) there
-// is no SSA package to build it from, so it stays gated until the
-// x/tools dependency can be vendored. See ARCHITECTURE.md, "Enforced
-// invariants".
+// The pass also carries a nilness-lite check built on the dataflow
+// solver from internal/analysis/cfg (the stock nilness pass needs
+// x/tools SSA, which the offline toolchain does not have; reaching
+// nilness over the CFG covers the same definite-nil subset): a
+// pointer-typed variable that is nil on *every* path into a
+// dereference — declared without a value, assigned a literal nil, or
+// refined to nil by the taken branch of an `== nil` test — is
+// reported at the dereference. Variables whose address is taken or
+// that a closure captures are not tracked, and a merge of nil and
+// non-nil paths is unknown, so only guaranteed panics are flagged.
 package shadow
 
 import (
@@ -26,12 +31,13 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
 )
 
 // Analyzer is the shadow pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "shadow",
-	Doc:  "check for shadowed same-typed locals whose outer variable is used after the inner scope",
+	Doc:  "check for shadowed same-typed locals whose outer variable is used after the inner scope, and definite-nil dereferences",
 	Run:  run,
 }
 
@@ -50,6 +56,9 @@ func run(pass *analysis.Pass) error {
 				checkShadow(pass, id)
 			}
 			return true
+		})
+		analysis.FuncNodes(file, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+			checkNilness(pass, body)
 		})
 	}
 	return nil
@@ -92,4 +101,298 @@ func usedAfter(info *types.Info, obj types.Object, end token.Pos) bool {
 		}
 	}
 	return false
+}
+
+// nilFact is one variable's reaching nilness: definitely nil or
+// definitely non-nil, with the position that established it (for the
+// report). Absence from the state map is "unknown".
+type nilFact struct {
+	isNil bool
+	pos   token.Pos
+}
+
+// nilState maps pointer-typed variables to their definite nilness.
+type nilState map[types.Object]nilFact
+
+// checkNilness runs the reaching-nilness dataflow over one function
+// body and reports dereferences of variables that are nil on every
+// path. Function literals are analyzed as bodies in their own right by
+// FuncNodes; within a body, anything a nested literal touches is
+// untracked.
+func checkNilness(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	untracked := untrackedObjs(info, body)
+	tracked := func(id *ast.Ident) types.Object {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil || untracked[obj] {
+			return nil
+		}
+		if _, ok := obj.Type().(*types.Pointer); !ok {
+			return nil
+		}
+		return obj
+	}
+
+	transfer := func(n ast.Node, st nilState) nilState {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return st
+			}
+			st = cloneNil(st)
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := tracked(name)
+					if obj == nil {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						st[obj] = nilFact{isNil: true, pos: name.Pos()}
+					} else if i < len(vs.Values) {
+						setFromRHS(st, obj, vs.Values[i], name.Pos())
+					} else {
+						delete(st, obj) // multi-value initializer: unknown
+					}
+				}
+			}
+			return st
+		case *ast.AssignStmt:
+			st = cloneNil(st)
+			paired := len(n.Lhs) == len(n.Rhs)
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := tracked(id)
+				if obj == nil {
+					continue
+				}
+				if paired {
+					setFromRHS(st, obj, n.Rhs[i], id.Pos())
+				} else {
+					delete(st, obj) // tuple from a call: unknown
+				}
+			}
+			return st
+		case *ast.RangeStmt:
+			// Only the key/value bindings are this node's effect; the
+			// body's statements live in their own blocks.
+			st = cloneNil(st)
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := tracked(id); obj != nil {
+						delete(st, obj)
+					}
+				}
+			}
+			return st
+		}
+		return st
+	}
+
+	g := cfg.New(body)
+	res := cfg.Solve(g, cfg.Flow[nilState]{
+		Entry:    nilState{},
+		Transfer: transfer,
+		Branch: func(cond ast.Expr, st nilState) (nilState, nilState) {
+			bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return st, st
+			}
+			id, ok := nilComparison(info, bin)
+			if !ok {
+				return st, st
+			}
+			obj := tracked(id)
+			if obj == nil {
+				return st, st
+			}
+			onNil, onNonNil := cloneNil(st), cloneNil(st)
+			onNil[obj] = nilFact{isNil: true, pos: bin.Pos()}
+			onNonNil[obj] = nilFact{isNil: false, pos: bin.Pos()}
+			if bin.Op == token.EQL {
+				return onNil, onNonNil
+			}
+			return onNonNil, onNil
+		},
+		Join:  joinNil,
+		Equal: equalNil,
+		Clone: cloneNil,
+	})
+
+	for _, b := range g.Blocks {
+		in, reachable := res.In[b]
+		if !reachable {
+			continue
+		}
+		st := cloneNil(in)
+		for _, n := range b.Nodes {
+			scanNilDeref(pass, tracked, n, st)
+			st = transfer(n, st)
+		}
+	}
+}
+
+// scanNilDeref reports *p and p.field uses under n where p is
+// definitely nil. Method calls are left alone — a method with a
+// pointer receiver may be deliberately nil-tolerant.
+func scanNilDeref(pass *analysis.Pass, tracked func(*ast.Ident) types.Object, n ast.Node, st nilState) {
+	if len(st) == 0 {
+		return
+	}
+	report := func(id *ast.Ident) {
+		obj := tracked(id)
+		if obj == nil {
+			return
+		}
+		if f, ok := st[obj]; ok && f.isNil {
+			pass.Reportf(id.Pos(), "dereference of %q, which is always nil here (nil since line %d)",
+				id.Name, pass.Fset.Position(f.pos).Line)
+		}
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				report(id)
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				report(id)
+			}
+		}
+		return true
+	})
+}
+
+// setFromRHS classifies one assignment's right-hand side: literal nil,
+// definitely non-nil (&x, new(T)), or unknown.
+func setFromRHS(st nilState, obj types.Object, rhs ast.Expr, at token.Pos) {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		if rhs.Name == "nil" {
+			st[obj] = nilFact{isNil: true, pos: at}
+			return
+		}
+	case *ast.UnaryExpr:
+		if rhs.Op == token.AND {
+			st[obj] = nilFact{isNil: false, pos: at}
+			return
+		}
+	case *ast.CallExpr:
+		if id, ok := rhs.Fun.(*ast.Ident); ok && id.Name == "new" {
+			st[obj] = nilFact{isNil: false, pos: at}
+			return
+		}
+	}
+	delete(st, obj)
+}
+
+// nilComparison matches `x == nil` / `nil != x` and returns the
+// non-nil operand's identifier.
+func nilComparison(info *types.Info, bin *ast.BinaryExpr) (*ast.Ident, bool) {
+	isNilIdent := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+	}
+	if isNilIdent(bin.Y) {
+		id, ok := ast.Unparen(bin.X).(*ast.Ident)
+		return id, ok
+	}
+	if isNilIdent(bin.X) {
+		id, ok := ast.Unparen(bin.Y).(*ast.Ident)
+		return id, ok
+	}
+	return nil, false
+}
+
+// untrackedObjs collects the variables nilness must not track: anything
+// whose address is taken (&p — a callee may rebind it) and anything a
+// nested function literal mentions (the literal may run between any
+// two statements of the enclosing body).
+func untrackedObjs(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	var inLit int
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				inLit++
+				walk(n.Body)
+				inLit--
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			case *ast.Ident:
+				if inLit > 0 {
+					if obj := info.Uses[n]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return out
+}
+
+func cloneNil(st nilState) nilState {
+	out := make(nilState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// joinNil keeps only facts both paths agree on, with the earliest
+// establishing position for determinism.
+func joinNil(a, b nilState) nilState {
+	out := nilState{}
+	for obj, fa := range a {
+		fb, ok := b[obj]
+		if !ok || fa.isNil != fb.isNil {
+			continue
+		}
+		if fb.pos < fa.pos {
+			fa.pos = fb.pos
+		}
+		out[obj] = fa
+	}
+	return out
+}
+
+func equalNil(a, b nilState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for obj, fa := range a {
+		fb, ok := b[obj]
+		if !ok || fa.isNil != fb.isNil || fa.pos != fb.pos {
+			return false
+		}
+	}
+	return true
 }

@@ -1,7 +1,9 @@
 // Fixture for the shadow pass: a `:=` redeclaration of a same-typed
 // local whose outer variable is still used after the inner scope is
 // flagged; different types, package-level shadows and dead outers are
-// not.
+// not. The nilness-lite cases at the bottom exercise the definite-nil
+// dereference check: flagged only when the variable is nil on every
+// path, with `== nil` branch refinement and escape/merge exemptions.
 package shadow
 
 func produce() error { return nil }
@@ -56,4 +58,60 @@ func okPackageLevel(cond bool) error {
 		_ = pkgErr
 	}
 	return pkgErr
+}
+
+// --- nilness-lite ---
+
+type box struct{ v int }
+
+func fill(pp **box) { *pp = &box{} }
+
+func badNilFieldRead() int {
+	var b *box
+	return b.v // want `dereference of "b", which is always nil here \(nil since line \d+\)`
+}
+
+func badNilStarDeref(cond bool) int {
+	var p *int
+	if cond {
+		p = nil
+	}
+	return *p // want `dereference of "p", which is always nil here`
+}
+
+func badDerefInNilBranch(b *box) int {
+	if b == nil {
+		return b.v // want `dereference of "b", which is always nil here`
+	}
+	return 0
+}
+
+func okAssignedBeforeUse() int {
+	var b *box
+	b = &box{v: 1}
+	return b.v
+}
+
+func okMergeUnknown(cond bool) int {
+	var b *box
+	if cond {
+		b = new(box)
+	}
+	if b != nil {
+		return b.v // non-nil on this edge by refinement
+	}
+	return 0
+}
+
+func okAddressTaken() int {
+	var b *box
+	fill(&b)
+	return b.v
+}
+
+func okClosureCaptured() int {
+	var b *box
+	set := func() { b = &box{} }
+	set()
+	return b.v
 }

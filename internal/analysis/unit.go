@@ -10,15 +10,19 @@ package analysis
 //	tool <vet.cfg>      analyze one package described by the config file
 //
 // The vet.cfg file is JSON emitted by cmd/go into the package's work
-// directory. Dependency packages are visited with VetxOnly=true purely
-// so the tool can export "facts" for downstream packages; this suite
-// has no cross-package facts, so those invocations just write an empty
-// facts file and exit. For the packages named on the command line
-// (VetxOnly=false) we parse the source files, type-check them against
-// the export data cmd/go already compiled (PackageFile maps import
-// paths to .a/export files in the build cache — no network, no second
-// compile), run every analyzer, and print findings to stderr as
-// "file:line:col: analyzer: message", exiting 2 if any survive.
+// directory. Dependency packages are visited with VetxOnly=true so the
+// tool can export facts for downstream packages: for in-module
+// dependencies the driver parses, type-checks and runs the fact-
+// bearing analyzers exactly as for a leaf package, discards the
+// diagnostics, and writes the gob-encoded fact set (imported facts
+// plus this package's exports — vetx files are cumulative, see
+// facts.go) to VetxOutput; out-of-module packages (the stdlib) carry
+// no facts this suite cares about and get an empty vetx file without
+// being loaded. For the packages named on the command line
+// (VetxOnly=false) we additionally decode every dependency vetx named
+// in PackageVetx, run every analyzer with those facts visible, and
+// print findings to stderr as "file:line:col: analyzer: message",
+// exiting 2 if any survive.
 //
 // The per-op ClassHint is the SAL shielded-flag protocol of the paper;
 // the wrapped Acquire/Release pairs are its asymmetric lock. The whole
@@ -27,6 +31,7 @@ package analysis
 // (including test variants) with build-cache-level incrementality.
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -51,15 +56,28 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
+// modulePath is the import-path prefix of packages this suite loads
+// for facts. Out-of-module dependencies (the stdlib) are never parsed:
+// no analyzer states facts about them, and loading them would triple
+// every vet run for nothing. Test variants ("repro/x [repro/x.test]")
+// and command-line-arguments share the prefixes.
+func inModule(importPath string) bool {
+	return importPath == "repro" ||
+		strings.HasPrefix(importPath, "repro/") ||
+		strings.HasPrefix(importPath, "command-line-arguments")
+}
+
 // Main is the vettool entry point: it interprets the go vet driver
 // protocol for the given analyzers and exits. Call it from main().
 func Main(analyzers ...*Analyzer) {
+	RegisterFactTypes(analyzers)
 	progname := filepath.Base(os.Args[0])
 	if len(os.Args) != 2 {
 		fmt.Fprintf(os.Stderr, "usage: %s <vet.cfg>\n(this binary is a go vet -vettool; run it via `go vet -vettool=%s ./...` or `make lint`)\n", progname, os.Args[0])
@@ -77,9 +95,12 @@ func Main(analyzers ...*Analyzer) {
 		fmt.Println("[]")
 		os.Exit(0)
 	case strings.HasPrefix(arg, "-V"):
-		// Incorporated into go vet's action IDs; changing it
-		// invalidates cached vet results.
-		fmt.Printf("%s version repolint-1 (stdlib unitchecker)\n", progname)
+		// Incorporated into go vet's action IDs. The version must
+		// change whenever the analyzers' behaviour does, or go vet
+		// serves stale cached diagnostics and .vetx facts from the
+		// previous build — so, like x/tools' unitchecker, it is the
+		// hash of the tool binary itself, not a hand-bumped constant.
+		fmt.Printf("%s version %s (stdlib unitchecker)\n", progname, selfHash())
 		os.Exit(0)
 	default:
 		diags, err := runOnConfig(arg, analyzers)
@@ -95,6 +116,28 @@ func Main(analyzers ...*Analyzer) {
 		}
 		os.Exit(0)
 	}
+}
+
+// selfHash fingerprints the running binary for -V: sha256 of the
+// executable's bytes, truncated for readability. Falls back to a
+// constant (no caching correctness, only a lost cache optimisation —
+// vet treats every run as a new tool version only if the string
+// changes, so a stable fallback just behaves like the old scheme).
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "repolint-unhashed"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "repolint-unhashed"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "repolint-unhashed"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
 }
 
 func firstLine(s string) string {
@@ -114,16 +157,18 @@ func runOnConfig(path string, analyzers []*Analyzer) ([]string, error) {
 		return nil, fmt.Errorf("parsing %s: %v", path, err)
 	}
 
-	// Facts file first: go vet records it as the action's output even
-	// for the leaf packages we fully analyze.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, err
+	// writeVetx records the action's output; go vet insists on the
+	// file existing even when there are no facts to write.
+	writeVetx := func(data []byte) error {
+		if cfg.VetxOutput == "" {
+			return nil
 		}
+		return os.WriteFile(cfg.VetxOutput, data, 0o666)
 	}
-	// Dependency-only visit: no facts to compute, nothing to report.
-	if cfg.VetxOnly {
-		return nil, nil
+	// Out-of-module packages carry no facts this suite states or
+	// reads; skip the load entirely.
+	if !inModule(cfg.ImportPath) {
+		return nil, writeVetx(nil)
 	}
 
 	fset := token.NewFileSet()
@@ -132,7 +177,7 @@ func runOnConfig(path string, analyzers []*Analyzer) ([]string, error) {
 		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if perr != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return nil, writeVetx(nil)
 			}
 			return nil, perr
 		}
@@ -172,14 +217,39 @@ func runOnConfig(path string, analyzers []*Analyzer) ([]string, error) {
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, writeVetx(nil)
 		}
 		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
-	diags, err := Run(analyzers, fset, files, pkg, info)
+	// Decode every dependency's facts; the store accumulates this
+	// package's exports on top during Run.
+	facts := NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		data, readErr := os.ReadFile(vetx)
+		if readErr != nil {
+			return nil, fmt.Errorf("reading facts of %s: %v", path, readErr)
+		}
+		if addErr := facts.AddEncoded(data); addErr != nil {
+			return nil, fmt.Errorf("facts of %s: %v", path, addErr)
+		}
+	}
+
+	diags, err := Run(analyzers, fset, files, pkg, info, facts)
 	if err != nil {
 		return nil, err
+	}
+	encoded, err := facts.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeVetx(encoded); err != nil {
+		return nil, err
+	}
+	// Dependency-only visit: the facts were the whole point; findings
+	// are the job of the action that names this package directly.
+	if cfg.VetxOnly {
+		return nil, nil
 	}
 	out := make([]string, len(diags))
 	for i, d := range diags {

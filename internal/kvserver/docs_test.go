@@ -83,7 +83,8 @@ func TestArchitectureDocCoversServingPath(t *testing.T) {
 		"combiner", "docs/protocol.md", "ClassHint",
 		// The machine-checked invariants section and its analyzers.
 		"Enforced invariants", "repolint", "classhintpair",
-		"lockheldcall", "electprobe", "wireconst",
+		"lockheldcall", "lockorder", "atomicfield",
+		"electprobe", "wireconst", "Lock ordering",
 		// The contributor-guide sections.
 		"add an engine", "add a lock", "add a mix", "add an analyzer",
 	} {
