@@ -16,6 +16,7 @@ RACE_PKGS = . \
 	./internal/core \
 	./internal/locks \
 	./internal/shardedkv \
+	./internal/wal \
 	./internal/kvserver \
 	./internal/kvclient \
 	./internal/storage/... \
@@ -36,7 +37,7 @@ RACE_PKGS = . \
 # no-op when nothing changed).
 REPOLINT = bin/repolint
 
-.PHONY: check build vet lint lint-test fmt-check test short race ci bench bench-json net-smoke FORCE
+.PHONY: check build vet lint lint-test fmt-check test short race ci bench bench-json net-smoke wal-smoke FORCE
 
 check: vet lint lint-test fmt-check build test
 
@@ -106,8 +107,47 @@ net-smoke:
 	rm -rf $$tmp; \
 	echo "net-smoke: clean shutdown"
 
+# wal-smoke proves the durability story with the REAL binaries and a
+# REAL kill -9: serve with -wal, fill a deterministic keyset through
+# cmd/kvcheck (interactive-class puts ack only after group commit),
+# SIGKILL the loaded server, restart it on the same log directory, and
+# verify every sync-acked key came back (bulk-class keys may legally be
+# lost — kvcheck exits 1 only on a broken durability promise). Runs as
+# a non-gating CI job next to net-smoke.
+wal-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/kvserver ./cmd/kvserver; \
+	$(GO) build -o $$tmp/kvcheck ./cmd/kvcheck; \
+	$$tmp/kvserver -addr 127.0.0.1:0 -engine lsm -wal $$tmp/wal 2>$$tmp/server1.log & pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/.* on \(127\.0\.0\.1:[0-9][0-9]*\)$$/\1/p' $$tmp/server1.log | head -1); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "wal-smoke: server never reported its address"; cat $$tmp/server1.log; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	$$tmp/kvcheck -addr $$addr -n 2000 -mode fill || { cat $$tmp/server1.log; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	kill -9 $$pid; \
+	wait $$pid 2>/dev/null || true; \
+	$$tmp/kvserver -addr 127.0.0.1:0 -engine lsm -wal $$tmp/wal 2>$$tmp/server2.log & pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/.* on \(127\.0\.0\.1:[0-9][0-9]*\)$$/\1/p' $$tmp/server2.log | head -1); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "wal-smoke: restarted server never reported its address"; cat $$tmp/server2.log; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	$$tmp/kvcheck -addr $$addr -n 2000 -mode verify || { cat $$tmp/server2.log; kill $$pid 2>/dev/null; rm -rf $$tmp; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	cat $$tmp/server2.log; \
+	rm -rf $$tmp; \
+	echo "wal-smoke: durability held across kill -9"
+
 # ci is what the workflow runs: the tier-1 gate, the race gate, the
-# short smoke paths, and the network smoke.
+# short smoke paths, and the network smoke. wal-smoke is a separate
+# non-gating job in the workflow.
 ci: check race short net-smoke
 
 bench:
@@ -127,11 +167,18 @@ bench:
 # records), while the class-oblivious mutex rows show no separation.
 # rs-* and net-* rows are trend data like everything else here: split
 # counts and queueing depend on how fast skew accumulates inside the
-# short measured window.
+# short measured window. The third run adds the durable rows: wal-*
+# (plain store, group commit via commit leader election) and
+# wal-pipe-* (pipeline, whole combiner batch per fsync) both carry
+# ops_per_fsync — the group-commit figure of merit, which should sit
+# well above 1 on wal-pipe-* and climb with the combine batch size.
 bench-json:
 	$(GO) run ./cmd/kvbench -engines hashkv,lsm -mixes zipfw,zipf \
 		-locks asl,mutex -pipeline -reshard -ff -shards 4 -cs 1us \
 		-dur 500ms -warmup 150ms -json BENCH_kvbench.json
 	$(GO) run ./cmd/kvbench -net -engines hashkv -mixes zipfw \
 		-locks asl,mutex -pipeline -shards 4 -cs 100us -bulkinflight 1 \
+		-dur 500ms -warmup 150ms -json BENCH_kvbench.json
+	$(GO) run ./cmd/kvbench -engines hashkv -mixes zipfw \
+		-locks asl -pipeline -wal -shards 4 -cs 1us \
 		-dur 500ms -warmup 150ms -json BENCH_kvbench.json

@@ -11,6 +11,7 @@
 //	kvbench -threads 8 -bigs 4 -slo 200us -dur 1s -shardstats
 //	kvbench -pipeline -mixes zipfw           # ASL vs combining vs plain, one grid
 //	kvbench -pipeline -reshard -ff           # + rs-*, rs-pipe-*, pipe-ff-* rows
+//	kvbench -wal -pipeline                   # + wal-*, wal-pipe-* durable rows
 //	kvbench -net -mixes zipfw                # the grid over TCP: net-* rows
 //	kvbench -net -netaddr host:7877          # ... against an external kvserver
 //	kvbench -json BENCH_kvbench.json         # append a trajectory record per row
@@ -63,6 +64,7 @@ import (
 	"repro/internal/prng"
 	"repro/internal/shardedkv"
 	"repro/internal/stats"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -124,6 +126,12 @@ type lockSpec struct {
 	ff bool
 	// reshard runs the row on a store with the skew detector live.
 	reshard bool
+	// wal runs the row on a durable store: every write appended to a
+	// per-shard log, big-class (interactive) writers waiting for group
+	// commit, little-class (bulk) writers acking after the buffered
+	// append. The row reports ops-per-fsync — the group-commit
+	// amortisation the WAL exists to maximise.
+	wal bool
 	// net runs the row over the wire: an in-process kvserver serves
 	// the store and the workers drive it through kvclient connections,
 	// big-class workers as interactive requests and little-class
@@ -136,7 +144,7 @@ type lockSpec struct {
 // fire-and-forget sibling (-ff), and rs-*/rs-pipe-* dynamic-reshard
 // siblings (-reshard) — so handoff policy, combining, and shard
 // fission all answer the same contention in one grid run.
-func expandLocks(lks []lockSpec, pipeline, ff, reshard bool) []lockSpec {
+func expandLocks(lks []lockSpec, pipeline, ff, reshard, walRows bool) []lockSpec {
 	var out []lockSpec
 	for _, lk := range lks {
 		out = append(out, lk)
@@ -150,6 +158,16 @@ func expandLocks(lks []lockSpec, pipeline, ff, reshard bool) []lockSpec {
 			out = append(out, lockSpec{name: "rs-" + lk.name, f: lk.f, slo: lk.slo, reshard: true})
 			if pipeline {
 				out = append(out, lockSpec{name: "rs-pipe-" + lk.name, f: lk.f, slo: lk.slo, pipe: true, reshard: true})
+			}
+		}
+		if walRows {
+			// wal-<lock> pays one commit-pipeline group commit per
+			// sync-wait write; wal-pipe-<lock> additionally rides the
+			// combiner, so its whole drained batch shares one fsync —
+			// ops_per_fsync should climb with the combine batch size.
+			out = append(out, lockSpec{name: "wal-" + lk.name, f: lk.f, slo: lk.slo, wal: true})
+			if pipeline {
+				out = append(out, lockSpec{name: "wal-pipe-" + lk.name, f: lk.f, slo: lk.slo, pipe: true, wal: true})
 			}
 		}
 	}
@@ -207,17 +225,9 @@ func preload(st *shardedkv.Store, cfg benchConfig) {
 	}
 }
 
-// kvAPI is the operation surface the workers drive; Store (plain
-// per-op locking) and AsyncStore (flat-combining pipeline) both
-// implement it, so one worker loop serves both rows.
-type kvAPI interface {
-	Get(w *core.Worker, k uint64) ([]byte, bool)
-	Put(w *core.Worker, k uint64, v []byte) bool
-	MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool)
-	MultiPut(w *core.Worker, kvs []shardedkv.KV) int
-	Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool)
-	MultiRange(w *core.Worker, reqs []shardedkv.RangeReq) [][]shardedkv.KV
-}
+// The workers drive the shardedkv.KV surface; Store (plain per-op
+// locking) and AsyncStore (flat-combining pipeline) both implement
+// it, so one worker loop serves both rows.
 
 // ffAPI routes point writes through the fire-and-forget PutAsync path
 // (submit without waiting); everything else stays on the waited
@@ -231,9 +241,9 @@ func (f ffAPI) Put(w *core.Worker, k uint64, v []byte) bool {
 }
 
 // run executes one configuration and returns its summary row, the
-// store's per-shard counters, and (for pipe/rs rows) the aggregate
-// combining and resharding stats.
-func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats, *shardedkv.CombineStats, *shardedkv.ReshardStats) {
+// store's per-shard counters, and (for pipe/rs/wal rows) the
+// aggregate combining, resharding, and log stats.
+func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats, *shardedkv.CombineStats, *shardedkv.ReshardStats, *wal.Stats) {
 	// The critical-section pad emulates the paper's AMP regime on a
 	// symmetric host: a little-class holder keeps the shard lock
 	// CSFactor times longer, exactly the condition under which FIFO
@@ -264,9 +274,22 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 			MaxShards:     cfg.shards * 8,
 		}
 	}
+	var walDir string
+	if lk.wal {
+		d, err := os.MkdirTemp("", "kvbench-wal-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvbench: wal dir: %v\n", err)
+			os.Exit(1)
+		}
+		walDir = d
+		// Default sync policies: big-class workers write interactive
+		// (wait for group commit), little-class workers bulk (ack after
+		// the buffered append).
+		scfg.Durability = &shardedkv.DurabilityConfig{Dir: walDir}
+	}
 	st := shardedkv.New(scfg)
 	preload(st, cfg)
-	var api kvAPI = st
+	var api shardedkv.KV = st
 	var async *shardedkv.AsyncStore
 	if lk.pipe {
 		async = shardedkv.NewAsync(st, shardedkv.AsyncConfig{MaxBatch: cfg.pipeBatch})
@@ -303,7 +326,7 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 			rng := prng.NewSplitMix64(uint64(i)*0x9e3779b97f4a7c15 + 0xbeef)
 			val := make([]byte, cfg.vsize)
 			ncs := shim.NCSUnits(cfg.ncsUnits, class)
-			kvs := make([]shardedkv.KV, cfg.batch)
+			kvs := make([]shardedkv.Pair, cfg.batch)
 			keys := make([]uint64, cfg.batch)
 			reqs := make([]shardedkv.RangeReq, cfg.batch)
 			// doOp returns the number of point operations the request
@@ -331,7 +354,7 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 						api.MultiGet(w, keys)
 					default:
 						for j := range kvs {
-							kvs[j] = shardedkv.KV{Key: keygen.Draw(rng), Value: val}
+							kvs[j] = shardedkv.Pair{Key: keygen.Draw(rng), Value: val}
 						}
 						api.MultiPut(w, kvs)
 					}
@@ -395,16 +418,24 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 		r := st.ReshardStats()
 		rs = &r
 	}
-	return merged.Summarize(name, cfg.dur), st.Stats(), comb, rs
+	shardStats := st.Stats()
+	var ws *wal.Stats
+	if lk.wal {
+		s := st.WalStats()
+		ws = &s
+		st.Close(core.NewWorker(core.WorkerConfig{Class: core.Big}))
+		os.RemoveAll(walDir)
+	}
+	return merged.Summarize(name, cfg.dur), shardStats, comb, rs, ws
 }
 
 // netPreload fills half the keyspace over the wire (MultiPut batches)
 // so gets have something to hit, mirroring preload.
 func netPreload(cl *kvclient.Client, cfg benchConfig) error {
 	v := make([]byte, cfg.vsize)
-	kvs := make([]shardedkv.KV, 0, 512)
+	kvs := make([]shardedkv.Pair, 0, 512)
 	for k := uint64(0); k < cfg.keys; k += 2 {
-		kvs = append(kvs, shardedkv.KV{Key: k, Value: v})
+		kvs = append(kvs, shardedkv.Pair{Key: k, Value: v})
 		if len(kvs) == cap(kvs) || k+2 >= cfg.keys {
 			if _, err := cl.MultiPut(kvserver.ClassInteractive, kvs); err != nil {
 				return err
@@ -512,7 +543,7 @@ func runNet(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg
 			defer wg.Done()
 			rng := prng.NewSplitMix64(uint64(i)*0x9e3779b97f4a7c15 + 0xbeef)
 			val := make([]byte, cfg.vsize)
-			kvs := make([]shardedkv.KV, cfg.batch)
+			kvs := make([]shardedkv.Pair, cfg.batch)
 			keys := make([]uint64, cfg.batch)
 			// doOp mirrors run()'s operation unit accounting; it
 			// returns (ops covered, fatal error). Admission-rejected
@@ -544,7 +575,7 @@ func runNet(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg
 						}
 					default:
 						for j := range kvs {
-							kvs[j] = shardedkv.KV{Key: keygen.Draw(rng), Value: val}
+							kvs[j] = shardedkv.Pair{Key: keygen.Draw(rng), Value: val}
 						}
 						if _, err := cl.MultiPut(wireClass, kvs); err != nil {
 							return 0, err
@@ -649,6 +680,12 @@ type benchRecord struct {
 	// OpsPerLockTake is the combining ratio; present only on pipe-*
 	// rows, where > 1 means the combiner is actually batching.
 	OpsPerLockTake float64 `json:"ops_per_lock_take,omitempty"`
+	// OpsPerFsync/Fsyncs are the wal-* rows' group-commit amortisation:
+	// records appended per fsync, and the fsync count itself. On
+	// wal-pipe-* rows the ratio should climb with the combine batch
+	// size — the whole drained batch rides one sync.
+	OpsPerFsync float64 `json:"ops_per_fsync,omitempty"`
+	Fsyncs      uint64  `json:"fsyncs,omitempty"`
 	// Splits/ReshardEvents/Shards are the rs-* rows' resharding
 	// trajectory: shards split, detector windows that split something,
 	// and the final live shard count.
@@ -740,6 +777,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "also run a pipe-<lock> row per lock: ops routed through the flat-combining AsyncStore")
 	ff := flag.Bool("ff", false, "also run a pipe-ff-<lock> row per lock: writes submitted fire-and-forget (PutAsync)")
 	reshard := flag.Bool("reshard", false, "also run rs-<lock> (and, with -pipeline, rs-pipe-<lock>) rows with the skew detector splitting hot shards mid-run")
+	walRows := flag.Bool("wal", false, "also run wal-<lock> (and, with -pipeline, wal-pipe-<lock>) rows on a durable store: per-shard write-ahead logs with group commit; rows report ops_per_fsync")
 	netMode := flag.Bool("net", false, "run the grid over the wire: net-<lock> rows drive an in-process kvserver through kvclient connections (big workers interactive, little workers bulk)")
 	netAddr := flag.String("netaddr", "", "with -net: drive an EXTERNAL kvserver at this address instead (one remote/<mix>/net-remote row per mix; engine and lock are the server's)")
 	netConns := flag.Int("netconns", 0, "with -net: client connections shared by the workers; 0 = one per worker")
@@ -792,8 +830,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *netMode {
-		if *ff || *reshard {
-			fmt.Fprintln(os.Stderr, "kvbench: -ff/-reshard rows are local-only; ignoring them under -net")
+		if *ff || *reshard || *walRows {
+			fmt.Fprintln(os.Stderr, "kvbench: -ff/-reshard/-wal rows are local-only; ignoring them under -net")
 		}
 		lks = expandNetLocks(lks, *pipeline)
 		if *netAddr != "" {
@@ -802,7 +840,7 @@ func main() {
 			lks = []lockSpec{{name: "net-remote", net: true}}
 		}
 	} else {
-		lks = expandLocks(lks, *pipeline, *ff, *reshard)
+		lks = expandLocks(lks, *pipeline, *ff, *reshard, *walRows)
 	}
 	if *pipeBatch < 0 {
 		fmt.Fprintf(os.Stderr, "kvbench: -pipebatch must be >= 0 (got %d; 0 = adaptive)\n", *pipeBatch)
@@ -859,6 +897,7 @@ func main() {
 				var shardStats []shardedkv.ShardStats
 				var comb *shardedkv.CombineStats
 				var rs *shardedkv.ReshardStats
+				var ws *wal.Stats
 				var sstats *kvserver.ServerStats
 				if lk.net {
 					var err error
@@ -868,7 +907,7 @@ func main() {
 						os.Exit(1)
 					}
 				} else {
-					row, shardStats, comb, rs = run(name, eng, mix, lk, cfg)
+					row, shardStats, comb, rs, ws = run(name, eng, mix, lk, cfg)
 					lastShards = shardStats
 				}
 				rows = append(rows, row)
@@ -891,6 +930,11 @@ func main() {
 						"  reshard: %d splits over %d events, %d -> %d shards (map epoch %d)\n",
 						rs.Splits, rs.Events, cfg.shards, rs.Shards, rs.Epoch)
 				}
+				if ws != nil {
+					fmt.Fprintf(os.Stderr,
+						"  wal: %d records / %d fsyncs = %.2f ops/fsync (%d rotations, %d bytes)\n",
+						ws.Appended, ws.Syncs, ws.OpsPerFsync(), ws.Rotations, ws.Bytes)
+				}
 				if *jsonPath != "" {
 					engine, mixCol, lockCol := splitRow(name)
 					rec := benchRecord{
@@ -909,6 +953,10 @@ func main() {
 						rec.Splits = rs.Splits
 						rec.ReshardEvents = rs.Events
 						rec.Shards = rs.Shards
+					}
+					if ws != nil {
+						rec.OpsPerFsync = ws.OpsPerFsync()
+						rec.Fsyncs = ws.Syncs
 					}
 					if sstats != nil {
 						rec.P99InteractiveNs = row.BigP99

@@ -42,13 +42,6 @@ const (
 	epochID   = 1
 )
 
-// pointKV is the point-op surface the service loop drives; the plain
-// Store and the combining AsyncStore both provide it.
-type pointKV interface {
-	Get(w *core.Worker, k uint64) ([]byte, bool)
-	Put(w *core.Worker, k uint64, v []byte) bool
-}
-
 // runService serves the mix for the configured duration over a fresh
 // store built with the given shard-lock factory. With pipeline set,
 // operations run through the flat-combining AsyncStore front end:
@@ -76,7 +69,9 @@ func runService(name string, factory locks.Factory, useSLO, pipeline, reshard bo
 		}
 	}
 	st := shardedkv.New(cfg)
-	var api pointKV = st
+	// Both front ends satisfy the one shardedkv.KV surface; the service
+	// loop never needs to know which one it is driving.
+	var api shardedkv.KV = st
 	var async *shardedkv.AsyncStore
 	if pipeline {
 		async = shardedkv.NewAsync(st, shardedkv.AsyncConfig{MaxBatch: 16})

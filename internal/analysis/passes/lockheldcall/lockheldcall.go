@@ -14,7 +14,13 @@
 //   - calling an exported method on a Store / AsyncStore /
 //     ClassedStore / ClassedAsync value (re-entering the public API
 //     acquires shard locks and can self-deadlock or invert the
-//     ancestor→descendant split order).
+//     ancestor→descendant split order);
+//   - calling an fsync-issuing method on a wal.Log (Commit, Sync,
+//     WriteCheckpoint, Close): the durability contract is append
+//     (buffered) under the lock, ONE group commit after release —
+//     an fsync inside the critical section would serialize every
+//     writer on the disk. Append and Rotate never sync and stay
+//     legal under the lock.
 //
 // Held-region tracking runs on the control-flow graph from
 // internal/analysis/cfg as a may-held dataflow: an Acquire adds the
@@ -58,6 +64,16 @@ var storeTypes = map[string]bool{
 	"AsyncStore":   true,
 	"ClassedStore": true,
 	"ClassedAsync": true,
+}
+
+// walSyncMethods are the wal.Log methods that issue fsync (or block on
+// one in flight). Append/Rotate/CrashDrop buffer or drop and are legal
+// under a shard lock.
+var walSyncMethods = map[string]bool{
+	"Commit":          true,
+	"Sync":            true,
+	"WriteCheckpoint": true,
+	"Close":           true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -178,14 +194,22 @@ func (c *checker) checkCall(call *ast.CallExpr) {
 		return
 	}
 	n := analysis.NamedRecv(c.pass.TypesInfo, recv)
-	if n == nil || !storeTypes[n.Obj().Name()] {
+	if n == nil {
+		return
+	}
+	p := n.Obj().Pkg()
+	if p == nil {
 		return
 	}
 	// Other packages are free to name a type Store (the lsm engine
-	// does); only the sharded store's API — or a fixture's local
-	// stand-in — is the re-entrancy hazard.
-	if p := n.Obj().Pkg(); p != nil && (p.Name() == "shardedkv" || p == c.pass.Pkg) {
+	// does) or Log; only the sharded store's API and the wal package's
+	// Log — or a fixture's local stand-in — carry the contracts.
+	local := p == c.pass.Pkg
+	switch {
+	case storeTypes[n.Obj().Name()] && (p.Name() == "shardedkv" || local):
 		c.pass.Reportf(call.Pos(), "re-entrant %s.%s call while a shard lock is held risks self-deadlock or lock-order inversion", n.Obj().Name(), name)
+	case n.Obj().Name() == "Log" && walSyncMethods[name] && (p.Name() == "wal" || local):
+		c.pass.Reportf(call.Pos(), "wal.Log.%s issues fsync while a shard lock is held; append under the lock, group-commit after Release", name)
 	}
 }
 

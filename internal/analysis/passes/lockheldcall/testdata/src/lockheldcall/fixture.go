@@ -22,6 +22,18 @@ type Store struct{}
 func (s *Store) Get(w *Worker, k uint64) int { return 0 }
 func (s *Store) internalGet(k uint64) int    { return 0 }
 
+// Log is the fixture's stand-in for wal.Log: Append/Rotate buffer and
+// are legal under the shard lock; Commit/Sync/WriteCheckpoint/Close
+// issue fsync and are not.
+type Log struct{}
+
+func (l *Log) Append(kind uint8, k uint64, v []byte) (uint64, error) { return 0, nil }
+func (l *Log) Rotate() (uint64, error)                               { return 0, nil }
+func (l *Log) Commit(lsn uint64) error                               { return nil }
+func (l *Log) Sync() error                                           { return nil }
+func (l *Log) WriteCheckpoint(b uint64) error                        { return nil }
+func (l *Log) Close() error                                          { return nil }
+
 // --- violations ---
 
 func badCallback(sh *shard, w *Worker, fn func(int)) {
@@ -70,7 +82,42 @@ out:
 	sh.lock.Release(w)
 }
 
+func badCommitUnderLock(sh *shard, w *Worker, lg *Log) {
+	sh.lock.Acquire(w)
+	lsn, _ := lg.Append(1, 7, nil)
+	_ = lg.Commit(lsn) // want `wal\.Log\.Commit issues fsync while a shard lock is held`
+	sh.lock.Release(w)
+}
+
+func badSyncUnderElection(sh *shard, w *Worker, lg *Log) {
+	if !sh.electTry(w) {
+		return
+	}
+	_ = lg.Sync() // want `wal\.Log\.Sync issues fsync while a shard lock is held`
+	sh.lock.Release(w)
+}
+
+func badCheckpointUnderLock(sh *shard, w *Worker, lg *Log) {
+	sh.lock.Acquire(w)
+	_ = lg.WriteCheckpoint(3) // want `wal\.Log\.WriteCheckpoint issues fsync while a shard lock is held`
+	sh.lock.Release(w)
+}
+
+func badLogCloseUnderLock(sh *shard, w *Worker, lg *Log) {
+	sh.lock.Acquire(w)
+	_ = lg.Close() // want `wal\.Log\.Close issues fsync while a shard lock is held`
+	sh.lock.Release(w)
+}
+
 // --- conforming ---
+
+func okAppendUnderLockCommitAfter(sh *shard, w *Worker, lg *Log) {
+	sh.lock.Acquire(w)
+	lsn, _ := lg.Append(1, 7, nil) // buffered append: legal under the lock
+	_, _ = lg.Rotate()             // seals without fsync: legal under the lock
+	sh.lock.Release(w)
+	_ = lg.Commit(lsn) // the group commit runs after release
+}
 
 func okLoopAcquireRelease(sh *shard, w *Worker, fn func(int)) {
 	for i := 0; i < 4; i++ {

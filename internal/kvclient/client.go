@@ -259,7 +259,7 @@ func (c *Client) MultiGet(class uint8, keys []uint64) ([][]byte, []bool, error) 
 
 // MultiPut writes all pairs in one request under class; returns the
 // number newly inserted.
-func (c *Client) MultiPut(class uint8, kvs []shardedkv.KV) (int, error) {
+func (c *Client) MultiPut(class uint8, kvs []shardedkv.Pair) (int, error) {
 	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpMultiPut, Class: class, KVs: kvs})
 	if err != nil {
 		return 0, err
@@ -270,7 +270,7 @@ func (c *Client) MultiPut(class uint8, kvs []shardedkv.KV) (int, error) {
 // Range returns pairs in [lo, hi] in ascending key order, at most
 // limit of them (limit 0 = the server's cap). more reports a
 // truncated emission — continue from kvs[len(kvs)-1].Key+1.
-func (c *Client) Range(class uint8, lo, hi uint64, limit int) (kvs []shardedkv.KV, more bool, err error) {
+func (c *Client) Range(class uint8, lo, hi uint64, limit int) (kvs []shardedkv.Pair, more bool, err error) {
 	resp, err := c.roundTrip(&kvserver.Request{Op: kvserver.OpRange, Class: class, Lo: lo, Hi: hi, Limit: uint32(limit)})
 	if err != nil {
 		return nil, false, err

@@ -87,9 +87,28 @@ func TestArchitectureDocCoversServingPath(t *testing.T) {
 		"electprobe", "wireconst", "Lock ordering",
 		// The contributor-guide sections.
 		"add an engine", "add a lock", "add a mix", "add an analyzer",
+		// The durability layer (§9) and its load-bearing names.
+		"Durability", "internal/wal", "group commit", "ops_per_fsync",
+		"CURRENT", "shardedkv.KV", "Snapshotter", "Compactor",
+		"SyncWait", "SyncAsync", "wal-smoke", "kvcheck",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md does not mention %q", want)
+		}
+	}
+}
+
+// TestProtocolDocCoversSyncPolicy pins the durable-server semantics
+// the spec promises: the per-class sync policy section and the
+// OpFlush durability-barrier note.
+func TestProtocolDocCoversSyncPolicy(t *testing.T) {
+	doc := repoFile(t, "docs/protocol.md")
+	for _, want := range []string{
+		"Sync policy", "-wal", "group commit", "durability promise",
+		"OpFlush", "durable",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/protocol.md does not mention %q", want)
 		}
 	}
 }

@@ -114,13 +114,13 @@ type Request struct {
 	Op    uint8
 	Class uint8
 
-	Key   uint64         // Get / Put / Delete
-	Value []byte         // Put (aliases the frame buffer — copy to retain)
-	Keys  []uint64       // MultiGet
-	KVs   []shardedkv.KV // MultiPut (values alias the frame buffer)
-	Lo    uint64         // Range
-	Hi    uint64         // Range
-	Limit uint32         // Range: max pairs; 0 = server default
+	Key   uint64           // Get / Put / Delete
+	Value []byte           // Put (aliases the frame buffer — copy to retain)
+	Keys  []uint64         // MultiGet
+	KVs   []shardedkv.Pair // MultiPut (values alias the frame buffer)
+	Lo    uint64           // Range
+	Hi    uint64           // Range
+	Limit uint32           // Range: max pairs; 0 = server default
 }
 
 // wireErr builds a decode error; every malformed-input path funnels
@@ -286,7 +286,7 @@ func DecodeRequest(frame []byte) (Request, error) {
 		if int(n)*12 > r.remain() {
 			return req, wireErr("batch of %d pairs exceeds frame size %d", n, len(r.b))
 		}
-		req.KVs = make([]shardedkv.KV, n)
+		req.KVs = make([]shardedkv.Pair, n)
 		for i := range req.KVs {
 			if req.KVs[i].Key, err = r.u64(); err != nil {
 				return req, err
@@ -436,7 +436,7 @@ func AppendMultiPutResponse(dst []byte, id uint64, inserted int) ([]byte, error)
 
 // AppendRangeResponse: n u32 | n × (key u64 | vlen u32 | v); the
 // More flag marks a truncated emission.
-func AppendRangeResponse(dst []byte, id uint64, kvs []shardedkv.KV, more bool) ([]byte, error) {
+func AppendRangeResponse(dst []byte, id uint64, kvs []shardedkv.Pair, more bool) ([]byte, error) {
 	var flags uint8
 	if more {
 		flags |= FlagMore
@@ -589,7 +589,7 @@ func DecodeMultiPutPayload(p []byte) (int, error) {
 }
 
 // DecodeRangePayload returns the pairs (copied out of the frame).
-func DecodeRangePayload(p []byte) ([]shardedkv.KV, error) {
+func DecodeRangePayload(p []byte) ([]shardedkv.Pair, error) {
 	r := &rd{b: p}
 	n, err := r.u32()
 	if err != nil {
@@ -602,7 +602,7 @@ func DecodeRangePayload(p []byte) ([]shardedkv.KV, error) {
 	if int(n)*12 > r.remain() {
 		return nil, wireErr("range response of %d pairs exceeds payload size %d", n, len(p))
 	}
-	kvs := make([]shardedkv.KV, n)
+	kvs := make([]shardedkv.Pair, n)
 	for i := range kvs {
 		if kvs[i].Key, err = r.u64(); err != nil {
 			return nil, err

@@ -31,7 +31,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 3, Op: OpPut, Class: ClassInteractive, Key: 8, Value: nil},
 		{ID: 4, Op: OpDelete, Class: ClassBulk, Key: ^uint64(0)},
 		{ID: 5, Op: OpMultiGet, Class: ClassInteractive, Keys: []uint64{1, 2, 3}},
-		{ID: 6, Op: OpMultiPut, Class: ClassBulk, KVs: []shardedkv.KV{
+		{ID: 6, Op: OpMultiPut, Class: ClassBulk, KVs: []shardedkv.Pair{
 			{Key: 1, Value: []byte("a")}, {Key: 2, Value: []byte{}},
 		}},
 		{ID: 7, Op: OpRange, Class: ClassBulk, Lo: 10, Hi: 99, Limit: 5},
@@ -129,7 +129,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		t.Fatalf("multiput payload: %d", n)
 	}
 
-	kvs := []shardedkv.KV{{Key: 1, Value: []byte("x")}, {Key: 2, Value: []byte("y")}}
+	kvs := []shardedkv.Pair{{Key: 1, Value: []byte("x")}, {Key: 2, Value: []byte("y")}}
 	wire, err = AppendRangeResponse(nil, 6, kvs, true)
 	check(err)
 	resp, _ = DecodeResponse(readBack(t, wire))
@@ -208,7 +208,7 @@ func FuzzDecodeRequest(f *testing.F) {
 		{ID: 1, Op: OpGet, Class: ClassInteractive, Key: 42},
 		{ID: 2, Op: OpPut, Class: ClassBulk, Key: 7, Value: []byte("hello")},
 		{ID: 5, Op: OpMultiGet, Class: ClassInteractive, Keys: []uint64{1, 2, 3}},
-		{ID: 6, Op: OpMultiPut, Class: ClassBulk, KVs: []shardedkv.KV{{Key: 1, Value: []byte("a")}}},
+		{ID: 6, Op: OpMultiPut, Class: ClassBulk, KVs: []shardedkv.Pair{{Key: 1, Value: []byte("a")}}},
 		{ID: 7, Op: OpRange, Class: ClassBulk, Lo: 10, Hi: 99, Limit: 5},
 		{ID: 8, Op: OpFlush, Class: ClassBulk},
 	}
@@ -236,7 +236,7 @@ func FuzzDecodeRequest(f *testing.F) {
 // over arbitrary bytes: errors allowed, panics not.
 func FuzzDecodeResponsePayloads(f *testing.F) {
 	okGet, _ := AppendGetResponse(nil, 1, []byte("v"), true)
-	okRange, _ := AppendRangeResponse(nil, 2, []shardedkv.KV{{Key: 9, Value: []byte("z")}}, false)
+	okRange, _ := AppendRangeResponse(nil, 2, []shardedkv.Pair{{Key: 9, Value: []byte("z")}}, false)
 	f.Add(okGet[14:])   // strip prefix+header: payload bytes
 	f.Add(okRange[14:]) //
 	f.Add([]byte{})

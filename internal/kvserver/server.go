@@ -52,11 +52,15 @@ type Config struct {
 // so one connection may interleave interactive and bulk operations and
 // each still reaches the shard lock under its own class.
 type Server struct {
-	st    *shardedkv.Store
-	async *shardedkv.AsyncStore
-	sloI  int64
-	sloB  int64
-	adm   *admission
+	// st answers placement queries (ShardOf, NumShards, MapEpoch); kv
+	// is the operation surface — the plain store, or the combining
+	// pipeline when Config.Async is set. Every request path goes
+	// through kv, so the server is front-end-agnostic past New.
+	st   *shardedkv.Store
+	kv   shardedkv.KV
+	sloI int64
+	sloB int64
+	adm  *admission
 
 	ln     net.Listener
 	closed atomic.Bool
@@ -79,9 +83,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Async != nil && cfg.Async.Store() != cfg.Store {
 		return nil, errors.New("kvserver: Config.Async does not wrap Config.Store")
 	}
+	kv := shardedkv.KV(cfg.Store)
+	if cfg.Async != nil {
+		kv = cfg.Async
+	}
 	return &Server{
 		st:      cfg.Store,
-		async:   cfg.Async,
+		kv:      kv,
 		sloI:    int64(cfg.SLOInteractive),
 		sloB:    int64(cfg.SLOBulk),
 		adm:     newAdmission(cfg.Admission),
@@ -316,55 +324,28 @@ func (s *Server) execute(w *core.Worker, sc *serverConn, req *Request, out []byt
 	ops := uint64(1)
 	switch req.Op {
 	case OpGet:
-		var v []byte
-		var ok bool
-		if s.async != nil {
-			v, ok = s.async.Get(w, req.Key)
-		} else {
-			v, ok = s.st.Get(w, req.Key)
-		}
+		v, ok := s.kv.Get(w, req.Key)
 		out, encErr = AppendGetResponse(out, req.ID, v, ok)
 	case OpPut:
 		// The decoded value aliases the connection's frame buffer,
 		// which the next ReadFrame reuses; the store retains values by
 		// reference, so copy before storing.
 		v := append([]byte(nil), req.Value...)
-		var ok bool
-		if s.async != nil {
-			ok = s.async.Put(w, req.Key, v)
-		} else {
-			ok = s.st.Put(w, req.Key, v)
-		}
+		ok := s.kv.Put(w, req.Key, v)
 		out, encErr = AppendBoolResponse(out, req.ID, ok)
 	case OpDelete:
-		var ok bool
-		if s.async != nil {
-			ok = s.async.Delete(w, req.Key)
-		} else {
-			ok = s.st.Delete(w, req.Key)
-		}
+		ok := s.kv.Delete(w, req.Key)
 		out, encErr = AppendBoolResponse(out, req.ID, ok)
 	case OpMultiGet:
-		var vals [][]byte
-		var found []bool
-		if s.async != nil {
-			vals, found = s.async.MultiGet(w, req.Keys)
-		} else {
-			vals, found = s.st.MultiGet(w, req.Keys)
-		}
+		vals, found := s.kv.MultiGet(w, req.Keys)
 		ops = uint64(len(req.Keys))
 		out, encErr = AppendMultiGetResponse(out, req.ID, vals, found)
 	case OpMultiPut:
-		kvs := make([]shardedkv.KV, len(req.KVs))
+		kvs := make([]shardedkv.Pair, len(req.KVs))
 		for i, kv := range req.KVs {
-			kvs[i] = shardedkv.KV{Key: kv.Key, Value: append([]byte(nil), kv.Value...)}
+			kvs[i] = shardedkv.Pair{Key: kv.Key, Value: append([]byte(nil), kv.Value...)}
 		}
-		var inserted int
-		if s.async != nil {
-			inserted = s.async.MultiPut(w, kvs)
-		} else {
-			inserted = s.st.MultiPut(w, kvs)
-		}
+		inserted := s.kv.MultiPut(w, kvs)
 		ops = uint64(len(kvs))
 		out, encErr = AppendMultiPutResponse(out, req.ID, inserted)
 	case OpRange:
@@ -372,30 +353,27 @@ func (s *Server) execute(w *core.Worker, sc *serverConn, req *Request, out []byt
 		if limit <= 0 || limit > MaxRangePairs {
 			limit = MaxRangePairs
 		}
-		kvs := make([]shardedkv.KV, 0, min(limit, 64))
+		kvs := make([]shardedkv.Pair, 0, min(limit, 64))
 		more := false
 		collect := func(k uint64, v []byte) bool {
 			if len(kvs) == limit {
 				more = true
 				return false
 			}
-			kvs = append(kvs, shardedkv.KV{Key: k, Value: v})
+			kvs = append(kvs, shardedkv.Pair{Key: k, Value: v})
 			return true
 		}
-		if s.async != nil {
-			s.async.Range(w, req.Lo, req.Hi, collect)
-		} else {
-			s.st.Range(w, req.Lo, req.Hi, collect)
-		}
+		s.kv.Range(w, req.Lo, req.Hi, collect)
 		if more {
 			s.truncates.Add(1)
 		}
 		ops = uint64(max(len(kvs), 1))
 		out, encErr = AppendRangeResponse(out, req.ID, kvs, more)
 	case OpFlush:
-		if s.async != nil {
-			s.async.Flush(w)
-		}
+		// KV.Flush is the write AND durability barrier: on the async
+		// front end it drains the rings first; on either front end it
+		// group-commits every shard log when durability is configured.
+		s.kv.Flush(w)
 		out, encErr = AppendEmptyResponse(out, req.ID)
 	default:
 		if epoch >= 0 {

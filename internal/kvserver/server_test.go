@@ -72,7 +72,7 @@ func TestClientServerBasic(t *testing.T) {
 		t.Fatalf("get: %q found=%v err=%v", v, found, err)
 	}
 
-	if _, err := cl.MultiPut(kvserver.ClassBulk, []shardedkv.KV{
+	if _, err := cl.MultiPut(kvserver.ClassBulk, []shardedkv.Pair{
 		{Key: 2, Value: []byte("two")}, {Key: 3, Value: []byte("three")},
 	}); err != nil {
 		t.Fatal(err)

@@ -92,7 +92,7 @@ func (v ClassedStore) MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool)
 }
 
 // MultiPut writes all pairs as the view's class.
-func (v ClassedStore) MultiPut(w *core.Worker, kvs []KV) int {
+func (v ClassedStore) MultiPut(w *core.Worker, kvs []Pair) int {
 	sc := enterClass(w, v.c)
 	n := v.s.MultiPut(w, kvs)
 	sc.restore()
@@ -108,12 +108,29 @@ func (v ClassedStore) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v [
 }
 
 // MultiRange executes all range requests as the view's class.
-func (v ClassedStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
+func (v ClassedStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair {
 	sc := enterClass(w, v.c)
 	out := v.s.MultiRange(w, reqs)
 	sc.restore()
 	return out
 }
+
+// Flush drives the durability barrier as the view's class.
+func (v ClassedStore) Flush(w *core.Worker) {
+	sc := enterClass(w, v.c)
+	v.s.Flush(w)
+	sc.restore()
+}
+
+// Close shuts the shared underlying store down (see Store.Close).
+func (v ClassedStore) Close(w *core.Worker) {
+	sc := enterClass(w, v.c)
+	v.s.Close(w)
+	sc.restore()
+}
+
+// Stats snapshots the underlying store's per-shard counters.
+func (v ClassedStore) Stats() []ShardStats { return v.s.Stats() }
 
 // ClassedAsync is an AsyncStore view whose submissions run as a fixed
 // class: the class governs election cadence, spin-vs-park waiting and
@@ -182,7 +199,7 @@ func (v ClassedAsync) MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool)
 }
 
 // MultiPut writes all pairs through the pipeline as the view's class.
-func (v ClassedAsync) MultiPut(w *core.Worker, kvs []KV) int {
+func (v ClassedAsync) MultiPut(w *core.Worker, kvs []Pair) int {
 	sc := enterClass(w, v.c)
 	n := v.a.MultiPut(w, kvs)
 	sc.restore()
@@ -198,7 +215,7 @@ func (v ClassedAsync) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v [
 
 // MultiRange executes all range requests through the pipeline as the
 // view's class.
-func (v ClassedAsync) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
+func (v ClassedAsync) MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair {
 	sc := enterClass(w, v.c)
 	out := v.a.MultiRange(w, reqs)
 	sc.restore()
@@ -212,3 +229,13 @@ func (v ClassedAsync) Flush(w *core.Worker) {
 	v.a.Flush(w)
 	sc.restore()
 }
+
+// Close shuts the shared pipeline down (see AsyncStore.Close).
+func (v ClassedAsync) Close(w *core.Worker) {
+	sc := enterClass(w, v.c)
+	v.a.Close(w)
+	sc.restore()
+}
+
+// Stats snapshots the underlying store's per-shard counters.
+func (v ClassedAsync) Stats() []ShardStats { return v.a.st.Stats() }

@@ -23,9 +23,9 @@ func value(k uint64, ver int) []byte {
 
 // collectRange gathers st.Range output and verifies strict ascending
 // key order as it goes.
-func collectRange(t *testing.T, st *Store, w *core.Worker, lo, hi uint64) []KV {
+func collectRange(t *testing.T, st *Store, w *core.Worker, lo, hi uint64) []Pair {
 	t.Helper()
-	var out []KV
+	var out []Pair
 	st.Range(w, lo, hi, func(k uint64, v []byte) bool {
 		if k < lo || k > hi {
 			t.Fatalf("Range[%d,%d] emitted out-of-range key %d", lo, hi, k)
@@ -33,14 +33,14 @@ func collectRange(t *testing.T, st *Store, w *core.Worker, lo, hi uint64) []KV {
 		if len(out) > 0 && k <= out[len(out)-1].Key {
 			t.Fatalf("Range[%d,%d] emitted %d after %d: out of order", lo, hi, k, out[len(out)-1].Key)
 		}
-		out = append(out, KV{Key: k, Value: v})
+		out = append(out, Pair{Key: k, Value: v})
 		return true
 	})
 	return out
 }
 
 // sameKVs compares two ordered KV lists.
-func sameKVs(a, b []KV) bool {
+func sameKVs(a, b []Pair) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -111,7 +111,7 @@ func TestCrossEngineConsistency(t *testing.T) {
 		case 3: // range scan
 			lo := k
 			hi := lo + rng.Uint64()%128
-			var want []KV
+			var want []Pair
 			for i, st := range stores {
 				got := collectRange(t, st, w, lo, hi)
 				if i == 0 {
@@ -123,12 +123,12 @@ func TestCrossEngineConsistency(t *testing.T) {
 			}
 		default: // batched puts + batched gets
 			n := int(rng.Uint64()%8) + 1
-			kvs := make([]KV, n)
+			kvs := make([]Pair, n)
 			keys := make([]uint64, n)
 			for j := range kvs {
 				ver++
 				bk := rng.Uint64() % keyspace
-				kvs[j] = KV{Key: bk, Value: value(bk, ver)}
+				kvs[j] = Pair{Key: bk, Value: value(bk, ver)}
 				keys[j] = bk
 			}
 			var wantIns int
@@ -238,7 +238,7 @@ func TestRangeConsistencyAfterDeletes(t *testing.T) {
 		{keyspace / 4, keyspace/4 + 63},
 		{keyspace, 2 * keyspace}, // empty
 	} {
-		var want []KV
+		var want []Pair
 		for i, st := range stores {
 			got := collectRange(t, st, w, span.lo, span.hi)
 			for _, kv := range got {
@@ -345,7 +345,7 @@ func TestBatchEdgeSemantics(t *testing.T) {
 			}
 			before := st.AggregateStats()
 			st.MultiGet(w, []uint64{})
-			st.MultiPut(w, []KV{})
+			st.MultiPut(w, []Pair{})
 			st.MultiRange(w, []RangeReq{})
 			after := st.AggregateStats()
 			if after.BatchLocks != before.BatchLocks {
@@ -361,7 +361,7 @@ func TestMultiPutDuplicateKeysLastWins(t *testing.T) {
 	for _, spec := range AllEngines() {
 		st := New(Config{Shards: 4, NewEngine: spec.New})
 		w := newTestWorker()
-		ins := st.MultiPut(w, []KV{
+		ins := st.MultiPut(w, []Pair{
 			{Key: 7, Value: []byte("first")},
 			{Key: 7, Value: []byte("second")},
 		})

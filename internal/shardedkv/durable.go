@@ -1,0 +1,486 @@
+package shardedkv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// This file wires the per-shard write-ahead log (internal/wal) into
+// the store. The shape follows the combining pipeline's asymmetry
+// argument one layer down: the combiner already batches up to
+// MaxBatchEff ops under one lock take, so durability rides the same
+// batch — records are appended (buffered, no fsync) while the shard
+// lock is held and ONE group-commit fsync runs after release, with
+// every waiter of the batch piggybacking on it. The plain Store gets
+// the same economics from wal.Commit's leader election: concurrent
+// writers' commits collapse into one in-flight sync.
+//
+// Sync policy is per SLO class, riding the PR 5 class plumbing:
+// interactive (big-class) writes wait for the group commit, bulk
+// (little-class) writes ack after the buffered append and become
+// durable with a later batch, a Flush, or Close. See syncWaitFor.
+//
+// The on-disk layout is generation-based:
+//
+//	dir/CURRENT            — "gen-N\n", flipped by atomic rename
+//	dir/gen-N/shard-<id>/  — one wal.Log directory per shard
+//
+// Recovery (openDurable) replays the CURRENT generation's shard
+// streams in ascending shard id into the fresh store's engines,
+// checkpoints the result into a NEW generation, flips CURRENT, and
+// deletes the old one — so a crash at any recovery point restarts
+// cleanly from whichever generation CURRENT names. Ascending-id
+// replay is correct across splits because ids are creation ordinals:
+// a parent's records (everything up to its split) always apply before
+// its children's (everything after), preserving per-key last-write-
+// wins without fence records.
+
+// SyncPolicy says when a write acks relative to its group commit.
+type SyncPolicy uint8
+
+const (
+	// SyncDefault resolves to the class default: interactive waits,
+	// bulk acks asynchronously.
+	SyncDefault SyncPolicy = iota
+	// SyncWait completes the write only after its record is fsynced
+	// (riding the batch's single group commit).
+	SyncWait
+	// SyncAsync completes the write after the buffered append; the
+	// record becomes durable with a later group commit, Flush, or
+	// Close. A crash may lose async-acked writes (never the per-key
+	// order of what survives).
+	SyncAsync
+)
+
+// DurabilityConfig enables the per-shard WAL.
+type DurabilityConfig struct {
+	// Dir is the log root. If it holds a previous run's generation,
+	// New replays it (recovery) before serving.
+	Dir string
+	// SegmentBytes is the per-shard segment rotation threshold
+	// (0 = the wal package default).
+	SegmentBytes int64
+	// Interactive and Bulk pick each SLO class's sync policy;
+	// SyncDefault means interactive=SyncWait, bulk=SyncAsync. The
+	// kvserver wire class maps to these end-to-end (class byte →
+	// ClassHint → this policy).
+	Interactive, Bulk SyncPolicy
+}
+
+// durability is the store-side state behind Config.Durability.
+type durability struct {
+	root   string // config Dir
+	genDir string // current generation's directory
+	opts   wal.Options
+	// wait[class] says whether a write of that class blocks on group
+	// commit (indexed by core.Class: Big = interactive, Little = bulk).
+	wait [2]bool
+
+	// ckptMu serialises checkpoints; it also serialises every
+	// Snapshot/Release pair, which is the external synchronisation
+	// storage.Snapshot requires for its refcount.
+	ckptMu sync.Mutex
+
+	// mu guards logs, the append-only list of every shard log ever
+	// opened (split-retired parents included — their files are part of
+	// the durable history until the next generation flip).
+	mu   sync.Mutex
+	logs []*wal.Log
+}
+
+func (d *durability) track(lg *wal.Log) {
+	d.mu.Lock()
+	d.logs = append(d.logs, lg)
+	d.mu.Unlock()
+}
+
+func (d *durability) allLogs() []*wal.Log {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append(make([]*wal.Log, 0, len(d.logs)), d.logs...)
+}
+
+// resolveWait maps a class's configured policy to wait-or-not.
+func resolveWait(p SyncPolicy, def bool) bool {
+	switch p {
+	case SyncWait:
+		return true
+	case SyncAsync:
+		return false
+	default:
+		return def
+	}
+}
+
+// syncWaitFor reports whether a write by w (under its effective
+// class, ClassHint included) must wait for group commit.
+func (s *Store) syncWaitFor(w *core.Worker) bool {
+	if s.dur == nil {
+		return false
+	}
+	return s.dur.wait[w.Class()]
+}
+
+// shardWalDir names shard id's log directory inside gen.
+func shardWalDir(gen string, id int) string {
+	return filepath.Join(gen, fmt.Sprintf("shard-%d", id))
+}
+
+const currentFile = "CURRENT"
+
+// readCurrentGen returns the generation CURRENT names (0 = none).
+func readCurrentGen(root string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(root, currentFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	name := strings.TrimSpace(string(data))
+	n, err := strconv.Atoi(strings.TrimPrefix(name, "gen-"))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("shardedkv: malformed %s: %q", currentFile, name)
+	}
+	return n, nil
+}
+
+// writeCurrentGen atomically points CURRENT at gen n.
+func writeCurrentGen(root string, n int) error {
+	tmp := filepath.Join(root, currentFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("gen-%d\n", n)), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		err = f.Sync()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(root, currentFile)); err != nil {
+		return err
+	}
+	return syncDirFS(root)
+}
+
+func syncDirFS(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func genDirName(root string, n int) string {
+	return filepath.Join(root, fmt.Sprintf("gen-%d", n))
+}
+
+// openDurable is called from New after the shard map is built but
+// before the store is published: it replays the previous generation
+// (if any) into the engines, opens this generation's logs via the
+// shards already created, checkpoints the recovered state, and flips
+// CURRENT. Single-threaded — nothing else can see the store yet.
+func openDurable(s *Store, cfg *DurabilityConfig) error {
+	oldGen, err := readCurrentGen(cfg.Dir)
+	if err != nil {
+		return err
+	}
+	if oldGen > 0 {
+		if rerr := s.replayGeneration(genDirName(cfg.Dir, oldGen)); rerr != nil {
+			return rerr
+		}
+		// Checkpoint the recovered state into the new generation so the
+		// old one's files carry no information the new one lacks.
+		if cerr := s.checkpointAll(); cerr != nil {
+			return cerr
+		}
+	}
+	if werr := writeCurrentGen(cfg.Dir, oldGen+1); werr != nil {
+		return werr
+	}
+	// Every generation but the live one is garbage: older ones are
+	// fully checkpointed into this one, newer ones are debris from a
+	// crash mid-recovery that never flipped CURRENT.
+	ents, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return err
+	}
+	live := fmt.Sprintf("gen-%d", oldGen+1)
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "gen-") && e.Name() != live {
+			if err := os.RemoveAll(filepath.Join(cfg.Dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// replayGeneration streams every shard directory of gen (ascending
+// shard id — parents strictly before their split children) into the
+// unpublished store's engines. Checkpoint records of one shard hold
+// distinct keys, so they are buffered per target shard and bulk-loaded
+// through the storage.Snapshotter capability where the engine has it;
+// segment records apply one by one in log order.
+func (s *Store) replayGeneration(gen string) error {
+	ents, err := os.ReadDir(gen)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var ids []int
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		if id, perr := strconv.Atoi(strings.TrimPrefix(e.Name(), "shard-")); perr == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	m := s.smap.Load()
+	for _, id := range ids {
+		dir := shardWalDir(gen, id)
+		// Buffer the checkpoint prefix per target shard for bulk load;
+		// everything after the checkpoint applies directly.
+		type batch struct {
+			keys []uint64
+			vals [][]byte
+		}
+		ckpt := map[*shard]*batch{}
+		flush := func() {
+			for sh, b := range ckpt {
+				if sn, ok := sh.eng.(storage.Snapshotter); ok {
+					bb := b
+					sn.Restore(func(yield func(k uint64, v []byte) bool) {
+						for i, k := range bb.keys {
+							if !yield(k, bb.vals[i]) {
+								return
+							}
+						}
+					})
+				} else {
+					for i, k := range b.keys {
+						sh.eng.Put(k, b.vals[i])
+					}
+				}
+			}
+			clear(ckpt)
+		}
+		flushed := false
+		_, err := wal.Replay(dir, func(kind wal.Kind, key uint64, val []byte, fromCkpt bool) error {
+			sh := m.locate(hashOf(key))
+			if fromCkpt {
+				b := ckpt[sh]
+				if b == nil {
+					b = &batch{}
+					ckpt[sh] = b
+				}
+				b.keys = append(b.keys, key)
+				b.vals = append(b.vals, append([]byte(nil), val...))
+				return nil
+			}
+			if !flushed {
+				// The checkpoint prefix is over; land it before any
+				// segment record so log order is preserved.
+				flushed = true
+				flush()
+			}
+			if kind == wal.KindDelete {
+				sh.eng.Delete(key)
+			} else {
+				sh.eng.Put(key, append([]byte(nil), val...))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		flush()
+	}
+	return nil
+}
+
+// checkpointAll rotates and checkpoints every live shard. Pre-publish
+// only (no locks); the concurrent path is Store.Checkpoint.
+func (s *Store) checkpointAll() error {
+	for _, sh := range s.smap.Load().shards {
+		if sh.wal == nil {
+			continue
+		}
+		boundary, err := sh.wal.Rotate()
+		if err != nil {
+			return err
+		}
+		eng := sh.eng
+		if err := sh.wal.WriteCheckpoint(boundary, func(emit func(k uint64, v []byte) error) error {
+			var werr error
+			eng.Range(0, ^uint64(0), func(k uint64, v []byte) bool {
+				werr = emit(k, v)
+				return werr == nil
+			})
+			return werr
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint dumps every live shard's state into its log directory
+// and truncates the segments the dump covers. Per shard it holds the
+// lock only for the cheap half — segment rotation plus snapshot
+// acquisition (storage.Snapshotter) or, for engines without that
+// capability, an in-memory full dump — and writes the checkpoint file
+// (the fsync half) after release. Checkpoints serialise on an
+// internal mutex; concurrent writers are never blocked beyond the
+// ordinary shard-lock hold.
+func (s *Store) Checkpoint(w *core.Worker) error {
+	if s.dur == nil {
+		return nil
+	}
+	s.dur.ckptMu.Lock()
+	defer s.dur.ckptMu.Unlock()
+
+	type task struct {
+		lg       *wal.Log
+		boundary uint64
+		snap     storage.Snapshot
+		dump     []Pair
+	}
+	var tasks []task
+	var lockErr error
+	//lint:ignore lockorder ckptMu is an outer coordination mutex, not an engine-internal lock: it is only ever taken lock-free at the top of Checkpoint (never under a shard lock or splitMu), so ckptMu → shard-lock cannot form a cycle with the canonical splitMu → shard → engine-internal chain.
+	s.forEachLive(w, func(sh *shard) {
+		if sh.wal == nil || lockErr != nil {
+			return
+		}
+		boundary, err := sh.wal.Rotate()
+		if err != nil {
+			lockErr = err
+			return
+		}
+		t := task{lg: sh.wal, boundary: boundary}
+		if c, ok := sh.eng.(storage.Compactor); ok {
+			c.Compact()
+		}
+		if sn, ok := sh.eng.(storage.Snapshotter); ok {
+			t.snap = sn.Snapshot()
+		} else {
+			sh.eng.Range(0, ^uint64(0), func(k uint64, v []byte) bool {
+				t.dump = append(t.dump, Pair{Key: k, Value: v})
+				return true
+			})
+		}
+		tasks = append(tasks, t)
+	})
+
+	var err error
+	for _, t := range tasks {
+		werr := t.lg.WriteCheckpoint(t.boundary, func(emit func(k uint64, v []byte) error) error {
+			var ierr error
+			if t.snap != nil {
+				t.snap.Range(func(k uint64, v []byte) bool {
+					ierr = emit(k, v)
+					return ierr == nil
+				})
+			} else {
+				for _, kv := range t.dump {
+					if ierr = emit(kv.Key, kv.Value); ierr != nil {
+						break
+					}
+				}
+			}
+			return ierr
+		})
+		if t.snap != nil {
+			t.snap.Release()
+		}
+		if werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if lockErr != nil && err == nil {
+		err = lockErr
+	}
+	return err
+}
+
+// Flush is the durability barrier of the plain store: it group-
+// commits every record appended so far on every shard log (live and
+// split-retired). Async-acked (bulk) writes are durable once it
+// returns. Without Config.Durability it is a no-op.
+func (s *Store) Flush(w *core.Worker) {
+	s.syncLogs()
+}
+
+// syncLogs fsyncs every log ever opened. Never called under a shard
+// lock.
+func (s *Store) syncLogs() {
+	if s.dur == nil {
+		return
+	}
+	for _, lg := range s.dur.allLogs() {
+		_ = lg.Sync()
+	}
+}
+
+// Close stops the reshard loop (if running) and syncs and closes
+// every shard log; the store must be quiesced. I/O errors are sticky
+// inside the logs and surface through Checkpoint — Close itself is
+// best-effort, matching the KV interface shape.
+func (s *Store) Close(w *core.Worker) {
+	s.StopReshard()
+	if s.dur == nil {
+		return
+	}
+	for _, lg := range s.dur.allLogs() {
+		_ = lg.Close()
+	}
+}
+
+// WalStats aggregates the wal counters across every shard log ever
+// opened. Zero when durability is off. Appended/Syncs is the
+// ops-per-fsync the group commit exists to raise above 1.
+func (s *Store) WalStats() wal.Stats {
+	var agg wal.Stats
+	if s.dur == nil {
+		return agg
+	}
+	for _, lg := range s.dur.allLogs() {
+		agg.Add(lg.Stats())
+	}
+	return agg
+}
+
+// crashDrop simulates kill -9 for the crash-point recovery tests:
+// every log drops its user-space buffers and closes without a final
+// sync. Test hook; see wal.Log.CrashDrop.
+func (s *Store) crashDrop() {
+	s.StopReshard()
+	if s.dur == nil {
+		return
+	}
+	for _, lg := range s.dur.allLogs() {
+		lg.CrashDrop()
+	}
+}

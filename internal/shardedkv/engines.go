@@ -3,6 +3,7 @@ package shardedkv
 import (
 	"sort"
 
+	"repro/internal/storage"
 	"repro/internal/storage/btree"
 	"repro/internal/storage/hashkv"
 	"repro/internal/storage/lsm"
@@ -152,6 +153,54 @@ func (e *lsmEngine) Len() int                    { return e.s.Len() }
 func (e *lsmEngine) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {
 	e.s.Range(lo, hi, fn)
 }
+
+// The LSM is the one substrate with native snapshot machinery, so its
+// adapter opts into the storage capability interfaces: checkpoints
+// freeze-and-pin a Version under the shard lock and dump it lock-free
+// afterwards, recovery bulk-loads checkpoint state as a single run,
+// and Compact folds the run stack before a dump. The other adapters
+// deliberately implement none of these — they exercise shardedkv's
+// full-dump fallback.
+var (
+	_ storage.Snapshotter = (*lsmEngine)(nil)
+	_ storage.Compactor   = (*lsmEngine)(nil)
+)
+
+// lsmSnap adapts a pinned lsm.Version to storage.Snapshot.
+type lsmSnap struct {
+	s *lsm.Store
+	v *lsm.Version
+}
+
+func (sn lsmSnap) Range(fn func(k uint64, v []byte) bool) { sn.v.Range(fn) }
+func (sn lsmSnap) Release()                               { sn.s.Release(sn.v) }
+
+func (e *lsmEngine) Snapshot() storage.Snapshot {
+	return lsmSnap{s: e.s, v: e.s.Snapshot()}
+}
+
+func (e *lsmEngine) Restore(src func(yield func(k uint64, v []byte) bool)) {
+	var keys []uint64
+	var vals [][]byte
+	src(func(k uint64, v []byte) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+	sk := make([]uint64, len(keys))
+	sv := make([][]byte, len(vals))
+	for i, o := range order {
+		sk[i], sv[i] = keys[o], vals[o]
+	}
+	e.s.Load(sk, sv)
+}
+
+func (e *lsmEngine) Compact() { e.s.Compact() }
 
 // EngineSpec names an engine constructor so benchmarks and tests can
 // sweep the full engine set.

@@ -1,0 +1,50 @@
+package shardedkv
+
+import "repro/internal/core"
+
+// KV is the one store surface every front end implements: the plain
+// synchronous Store, the combining AsyncStore, and the fixed-class
+// views either returns from As. Consumers that do not care which
+// concurrency front end (or SLO class binding) they are handed — the
+// network server's request loop, the benchmark driver, the model
+// checker's harness — program against this and let the caller pick
+// the implementation.
+//
+// Contracts shared by all implementations:
+//
+//   - Every method takes the calling goroutine's own *core.Worker;
+//     workers are not shareable.
+//   - Put/MultiPut retain value slices by reference until applied (and,
+//     under durability, until logged) — callers must not reuse buffers.
+//   - Range/MultiRange results are ascending-key and per-shard
+//     consistent; fn never runs under a shard lock.
+//   - Flush is the write/durability barrier: every operation submitted
+//     before it is applied, and with durability configured, fsynced.
+//   - Close makes the handle (and for AsyncStore-backed handles, the
+//     pipeline) unusable; it does NOT imply the underlying engines are
+//     gone — split views share one Store, and closing one view closes
+//     the shared front end exactly once.
+//   - Stats snapshots the underlying Store's per-shard counters; views
+//     and the async front end report the same store-level numbers.
+type KV interface {
+	Get(w *core.Worker, k uint64) ([]byte, bool)
+	Put(w *core.Worker, k uint64, v []byte) bool
+	Delete(w *core.Worker, k uint64) bool
+	MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool)
+	MultiPut(w *core.Worker, kvs []Pair) int
+	Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool)
+	MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair
+	Flush(w *core.Worker)
+	Close(w *core.Worker)
+	Stats() []ShardStats
+}
+
+// The four front ends below are the complete implementation set; the
+// asserts keep interface drift a compile error rather than a runtime
+// surprise in whichever consumer noticed last.
+var (
+	_ KV = (*Store)(nil)
+	_ KV = (*AsyncStore)(nil)
+	_ KV = ClassedStore{}
+	_ KV = ClassedAsync{}
+)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // This file implements the asynchronous combining front end over
@@ -91,10 +92,20 @@ type request struct {
 	val  []byte     // Put value (retained by reference, as in Store.Put)
 	rng  []RangeReq // opRange: spans to collect on one shard
 
+	// syncWait marks a waited write whose class demands group commit:
+	// the executor appends to the shard's log as usual but the drain
+	// holds the future back (in its pend list) and completes it only
+	// after releasing the shard lock and committing the record — the
+	// combiner's whole batch rides ONE fsync, and the fsync never runs
+	// under a shard lock.
+	syncWait bool
+
 	// Results, written by the executor before complete().
-	rval  []byte // Get: stored value
-	rok   bool   // Get: found / Put: inserted / Delete: was present
-	parts [][]KV // opRange: parts[i] is rng[i]'s slice of this shard
+	rval  []byte   // Get: stored value
+	rok   bool     // Get: found / Put: inserted / Delete: was present
+	parts [][]Pair // opRange: parts[i] is rng[i]'s slice of this shard
+	lg    *wal.Log // log the write was appended to (nil without durability)
+	lsn   uint64   // its LSN in lg
 
 	state atomic.Uint32
 	wake  chan struct{} // buffered(1); one token per park/wake pair
@@ -218,11 +229,14 @@ type pipeShard struct {
 	// at enqueue, decayed by idle drains. The adaptive bound grows
 	// toward it, never past it.
 	hwRecent atomic.Uint64
-	// executed counts ring requests executed AND completed, i.e. the
-	// ring position up to which results are real. It trails the ring's
-	// head cursor, which advances at dequeue time: Flush/Close must
-	// wait on executed, not head, or a request a concurrent combiner
-	// has dequeued but not yet run would count as flushed.
+	// executed counts ring requests applied to the engine (and logged,
+	// under durability), i.e. the ring position up to which effects are
+	// real. It trails the ring's head cursor, which advances at dequeue
+	// time: Flush/Close must wait on executed, not head, or a request a
+	// concurrent combiner has dequeued but not yet run would count as
+	// flushed. A sync-wait request's FUTURE may complete after the
+	// cursor covers it (the combiner commits post-release); only its
+	// owner waits on that.
 	executed  atomic.Uint64
 	lockTakes atomic.Uint64
 	combined  atomic.Uint64
@@ -444,6 +458,10 @@ func (a *AsyncStore) pipes() []*pipeShard {
 // direct calls).
 func (a *AsyncStore) Store() *Store { return a.st }
 
+// Stats snapshots the wrapped store's per-shard counters (KV surface;
+// combining-specific numbers live in CombineStats).
+func (a *AsyncStore) Stats() []ShardStats { return a.st.Stats() }
+
 func (a *AsyncStore) newReq(kind opKind) *request {
 	r := a.pool.Get().(*request)
 	r.kind = kind
@@ -455,7 +473,8 @@ func (a *AsyncStore) newReq(kind opKind) *request {
 // reference is dropped here.
 func (a *AsyncStore) putReq(r *request) {
 	r.val, r.rval, r.rng, r.parts = nil, nil, nil, nil
-	r.rok, r.ff = false, false
+	r.rok, r.ff, r.syncWait = false, false, false
+	r.lg, r.lsn = nil, 0
 	a.pool.Put(r)
 }
 
@@ -468,6 +487,29 @@ func (a *AsyncStore) finish(r *request) {
 		return
 	}
 	r.complete()
+}
+
+// finishOrDefer finishes r, or parks it on pend when its future must
+// wait for group commit. Called with the executing shard's lock held;
+// the deferral is what keeps wal.Commit off the locked path.
+func (a *AsyncStore) finishOrDefer(r *request, pend *[]*request) {
+	if r.syncWait && r.lg != nil {
+		*pend = append(*pend, r)
+		return
+	}
+	a.finish(r)
+}
+
+// completePending commits and completes the sync-wait requests a drain
+// held back. Every shard lock must be released first: Commit fsyncs
+// (or piggybacks on the leader already doing so), and commits in pend
+// order make one call per log do the real work — later entries find
+// their LSN already durable.
+func completePending(pend []*request) {
+	for _, r := range pend {
+		_ = r.lg.Commit(r.lsn)
+		r.complete()
+	}
 }
 
 func (a *AsyncStore) checkOpen() {
@@ -495,10 +537,18 @@ func (a *AsyncStore) exec(w *core.Worker, sh *shard, r *request) {
 	case opPut:
 		r.rok = sh.eng.Put(r.key, r.val)
 		a.st.pad(w)
+		if sh.wal != nil {
+			r.lsn, _ = sh.wal.Append(wal.KindPut, r.key, r.val)
+			r.lg = sh.wal
+		}
 		sh.puts.Add(1)
 	case opDelete:
 		r.rok = sh.eng.Delete(r.key)
 		a.st.pad(w)
+		if sh.wal != nil {
+			r.lsn, _ = sh.wal.Append(wal.KindDelete, r.key, nil)
+			r.lg = sh.wal
+		}
 		sh.deletes.Add(1)
 	case opRange:
 		// Collect under the lock, complete the future, and let the
@@ -529,7 +579,7 @@ func (a *AsyncStore) execForwarded(w *core.Worker, f *splitRecord, r *request) {
 // reachable from work (descending through further splits) and merges
 // the per-engine slices so r.parts keeps its ascending-key contract.
 func (a *AsyncStore) execRangeMulti(w *core.Worker, work []*shard, r *request) {
-	var per [][][]KV // per visited live shard: parts per span
+	var per [][][]Pair // per visited live shard: parts per span
 	for len(work) > 0 {
 		sh := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -539,12 +589,12 @@ func (a *AsyncStore) execRangeMulti(w *core.Worker, work []*shard, r *request) {
 			work = append(work, f.kids[0], f.kids[1])
 			continue
 		}
-		parts := make([][]KV, len(r.rng))
+		parts := make([][]Pair, len(r.rng))
 		a.st.collectShardRanges(w, sh, r.rng, parts)
 		sh.lock.Release(w)
 		per = append(per, parts)
 	}
-	lists := make([][]KV, len(per))
+	lists := make([][]Pair, len(per))
 	for i := range r.rng {
 		for j, parts := range per {
 			lists[j] = parts[i]
@@ -557,8 +607,10 @@ func (a *AsyncStore) execRangeMulti(w *core.Worker, work []*shard, r *request) {
 // holds q's shard lock. On a retired ring every request forwards to
 // the live children. An adaptive combiner whose ring runs momentarily
 // dry on a hot shard lingers briefly for in-flight producers before
-// giving the lock up. Returns the number executed.
-func (a *AsyncStore) drain(w *core.Worker, q *pipeShard) int {
+// giving the lock up. Returns the number executed. Sync-wait writes
+// are applied and logged here but their futures land on pend; the
+// caller completes them after release (see completePending).
+func (a *AsyncStore) drain(w *core.Worker, q *pipeShard, pend *[]*request) int {
 	sh := q.sh
 	f := sh.forward.Load() // stable: forward only changes under this lock
 	bound := q.drainBound(w)
@@ -580,7 +632,7 @@ func (a *AsyncStore) drain(w *core.Worker, q *pipeShard) int {
 		} else {
 			a.execForwarded(w, f, r)
 		}
-		a.finish(r)
+		a.finishOrDefer(r, pend)
 		q.executed.Add(1)
 		n++
 	}
@@ -617,12 +669,14 @@ func (a *AsyncStore) tryCombine(w *core.Worker, q *pipeShard) bool {
 	}
 	// Count the take only when it drains something: empty takes must
 	// not dilute the ops-per-lock-take metric.
+	var pend []*request
 	//lint:ignore lockorder drain hops retired→descendant shard locks in the order splits created them (see execForwarded); class-level tracking cannot see the instance order that makes this acyclic
-	n := a.drain(w, q)
+	n := a.drain(w, q, &pend)
 	if n > 0 {
 		q.noteTake(w)
 	}
 	q.sh.lock.Release(w)
+	completePending(pend)
 	return n > 0
 }
 
@@ -633,8 +687,9 @@ func (a *AsyncStore) tryCombine(w *core.Worker, q *pipeShard) bool {
 // that slipped into the ring meanwhile execute against the live
 // children, still in FIFO order, before the map swap makes the
 // children reachable). Requests that land even later are driven by
-// their own submitters (see submit).
-func (a *AsyncStore) drainForSplit(w *core.Worker, sh *shard) {
+// their own submitters (see submit). Sync-wait futures accumulate on
+// pend for the splitter to complete once the rendezvous lock drops.
+func (a *AsyncStore) drainForSplit(w *core.Worker, sh *shard, pend *[]*request) {
 	q := sh.pipe.Load()
 	if q == nil {
 		return
@@ -666,7 +721,7 @@ func (a *AsyncStore) drainForSplit(w *core.Worker, sh *shard) {
 		} else {
 			a.execForwarded(w, f, r)
 		}
-		a.finish(r)
+		a.finishOrDefer(r, pend)
 		q.executed.Add(1)
 		n++
 	}
@@ -722,9 +777,11 @@ func (a *AsyncStore) execDirect(w *core.Worker, q *pipeShard, r *request) {
 	lq.direct.Add(1)
 	a.exec(w, sh, r)
 	lq.combined.Add(1)
-	a.drain(w, lq)
+	var pend []*request
+	a.drain(w, lq, &pend)
 	sh.lock.Release(w)
-	a.finish(r)
+	a.finishOrDefer(r, &pend)
+	completePending(pend)
 }
 
 // await drives the waiting side of one enqueued request: spin, attempt
@@ -820,21 +877,27 @@ func (a *AsyncStore) Get(w *core.Worker, k uint64) ([]byte, bool) {
 
 // Put stores k=v through the pipeline; reports insert-vs-replace. As
 // with Store.Put, v is retained by reference until the op executes.
+// With durability on and a sync-wait class, the call returns only
+// after the record is fsynced — riding whichever group commit the
+// executing combiner's batch leads or joins.
 func (a *AsyncStore) Put(w *core.Worker, k uint64, v []byte) bool {
 	a.checkOpen()
 	r := a.newReq(opPut)
 	r.key, r.val = k, v
+	r.syncWait = a.st.syncWaitFor(w)
 	a.run(w, a.pipeOf(k), r)
 	ok := r.rok
 	a.putReq(r)
 	return ok
 }
 
-// Delete removes k through the pipeline; reports presence.
+// Delete removes k through the pipeline; reports presence. Sync
+// policy as in Put.
 func (a *AsyncStore) Delete(w *core.Worker, k uint64) bool {
 	a.checkOpen()
 	r := a.newReq(opDelete)
 	r.key = k
+	r.syncWait = a.st.syncWaitFor(w)
 	a.run(w, a.pipeOf(k), r)
 	ok := r.rok
 	a.putReq(r)
@@ -901,13 +964,15 @@ func (a *AsyncStore) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok 
 // Store.MultiPut, duplicate keys within the batch may execute in any
 // order relative to each other — the pipeline preserves per-ring FIFO,
 // which is per-shard arrival order, not batch order.
-func (a *AsyncStore) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
+func (a *AsyncStore) MultiPut(w *core.Worker, kvs []Pair) (inserted int) {
 	a.checkOpen()
 	reqs := make([]*request, len(kvs))
 	qs := make([]*pipeShard, len(kvs))
+	sw := a.st.syncWaitFor(w)
 	for i, kv := range kvs {
 		r := a.newReq(opPut)
 		r.key, r.val = kv.Key, kv.Value
+		r.syncWait = sw
 		reqs[i] = r
 		qs[i] = a.pipeOf(kv.Key)
 		a.submit(w, qs[i], r)
@@ -932,21 +997,21 @@ func (a *AsyncStore) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
 // that splits mid-flight serves its request from the live children
 // (see execForwarded), so the union still covers the key space exactly
 // once.
-func (a *AsyncStore) collectRanges(w *core.Worker, reqs []RangeReq) [][]KV {
+func (a *AsyncStore) collectRanges(w *core.Worker, reqs []RangeReq) [][]Pair {
 	m := a.st.smap.Load()
 	rs := make([]*request, len(m.shards))
 	qs := make([]*pipeShard, len(m.shards))
 	for si, sh := range m.shards {
 		r := a.newReq(opRange)
 		r.rng = reqs
-		r.parts = make([][]KV, len(reqs))
+		r.parts = make([][]Pair, len(reqs))
 		rs[si] = r
 		qs[si] = sh.pipe.Load()
 		a.submit(w, qs[si], r)
 	}
-	parts := make([][][]KV, len(reqs)) // parts[request][shard]
+	parts := make([][][]Pair, len(reqs)) // parts[request][shard]
 	for ri := range parts {
-		parts[ri] = make([][]KV, len(rs))
+		parts[ri] = make([][]Pair, len(rs))
 	}
 	for si, r := range rs {
 		if !r.isDone() {
@@ -957,7 +1022,7 @@ func (a *AsyncStore) collectRanges(w *core.Worker, reqs []RangeReq) [][]KV {
 		}
 		a.putReq(r)
 	}
-	out := make([][]KV, len(reqs))
+	out := make([][]Pair, len(reqs))
 	for ri := range reqs {
 		out[ri] = mergeKV(parts[ri])
 	}
@@ -981,10 +1046,10 @@ func (a *AsyncStore) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []
 
 // MultiRange executes all range requests through the pipeline; out[i]
 // is request i's result in ascending key order.
-func (a *AsyncStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
+func (a *AsyncStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair {
 	a.checkOpen()
 	if len(reqs) == 0 {
-		return make([][]KV, 0)
+		return make([][]Pair, 0)
 	}
 	return a.collectRanges(w, reqs)
 }
@@ -1008,6 +1073,9 @@ func (a *AsyncStore) Flush(w *core.Worker) {
 			}
 		}
 	}
+	// With durability on, Flush is a durability barrier too: one group
+	// commit per shard log covers every write applied above.
+	a.st.syncLogs()
 }
 
 // Close flushes the rings and marks the pipeline closed: subsequent
@@ -1033,9 +1101,13 @@ func (a *AsyncStore) Close(w *core.Worker) {
 		// A split during the drain may have attached fresh rings;
 		// sweep again until the set is stable.
 		if len(a.pipes()) == len(qs) {
-			return
+			break
 		}
 	}
+	// Drained writes are applied but possibly only buffered in the
+	// logs; sync them so Close is a durability point. The logs stay
+	// open — the Store owns their lifecycle (Store.Close).
+	a.st.syncLogs()
 }
 
 // CombineStats snapshots every ring's combining counters in attach

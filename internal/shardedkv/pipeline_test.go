@@ -86,11 +86,11 @@ func TestAsyncLinearizableVsModel(t *testing.T) {
 					n := int(rng.Uint64()%5) + 2
 					base := rng.Uint64()
 					if rng.Uint64()&1 == 0 {
-						kvs := make([]KV, n)
+						kvs := make([]Pair, n)
 						for j := range kvs {
 							bk := own(base + uint64(j))
 							ver++
-							kvs[j] = KV{Key: bk, Value: verValue(bk, ver)}
+							kvs[j] = Pair{Key: bk, Value: verValue(bk, ver)}
 						}
 						wantIns := 0
 						for _, kv := range kvs {
@@ -192,12 +192,12 @@ func TestAsyncSharedStress(t *testing.T) {
 						default:
 							n := int(rng.Uint64()%6) + 2
 							if rng.Uint64()&1 == 0 {
-								kvs := make([]KV, n)
+								kvs := make([]Pair, n)
 								for j := range kvs {
 									// Distinct keys: the pipeline does not
 									// order duplicate keys within a batch.
 									bk := (rng.Uint64() + uint64(j)) % keyspace
-									kvs[j] = KV{Key: bk, Value: stressValue(bk)}
+									kvs[j] = Pair{Key: bk, Value: stressValue(bk)}
 								}
 								inserts.Add(int64(a.MultiPut(w, kvs)))
 							} else {
@@ -239,9 +239,9 @@ func TestAsyncMultiPutInsertCount(t *testing.T) {
 	st := New(Config{Shards: 4})
 	a := NewAsync(st, AsyncConfig{})
 	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
-	kvs := make([]KV, 64)
+	kvs := make([]Pair, 64)
 	for i := range kvs {
-		kvs[i] = KV{Key: uint64(i), Value: stressValue(uint64(i))}
+		kvs[i] = Pair{Key: uint64(i), Value: stressValue(uint64(i))}
 	}
 	if got := a.MultiPut(w, kvs); got != 64 {
 		t.Fatalf("first MultiPut inserted %d, want 64", got)

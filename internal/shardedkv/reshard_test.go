@@ -1,7 +1,6 @@
 package shardedkv
 
 import (
-	"bytes"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -216,88 +215,10 @@ func TestSplitUnderLoadLinearizable(t *testing.T) {
 					time.Sleep(200 * time.Microsecond)
 				}
 			}()
-			var work sync.WaitGroup
-			for wi := 0; wi < workers; wi++ {
-				work.Add(1)
-				go func(wi int) {
-					defer work.Done()
-					class := core.Big
-					if wi%2 == 1 {
-						class = core.Little
-					}
-					w := core.NewWorker(core.WorkerConfig{Class: class})
-					rng := prng.NewSplitMix64(uint64(wi)*0x9e3779b9 + 41)
-					model := make(map[uint64][]byte)
-					ver := uint64(0)
-					own := func(i uint64) uint64 { return (i%128)*workers + uint64(wi) }
-					for op := 0; op < opsPer; op++ {
-						k := own(rng.Uint64())
-						switch rng.Uint64() % 8 {
-						case 0, 1, 2:
-							ver++
-							v := verValue(k, ver)
-							if ins, had := st.Put(w, k, v), model[k] != nil; ins == had {
-								t.Errorf("worker %d: Put(%d) inserted=%v, model had=%v", wi, k, ins, had)
-							}
-							model[k] = v
-						case 3, 4:
-							v, ok := st.Get(w, k)
-							mv := model[k]
-							if ok != (mv != nil) || !bytes.Equal(v, mv) {
-								t.Errorf("worker %d: Get(%d) = %x,%v; model %x", wi, k, v, ok, mv)
-							}
-						case 5:
-							if present, had := st.Delete(w, k), model[k] != nil; present != had {
-								t.Errorf("worker %d: Delete(%d) present=%v, model had=%v", wi, k, present, had)
-							}
-							delete(model, k)
-						case 6:
-							// Batched puts over distinct owned keys.
-							n := int(rng.Uint64()%5) + 2
-							base := rng.Uint64()
-							kvs := make([]KV, n)
-							wantIns := 0
-							seen := map[uint64]bool{}
-							for j := range kvs {
-								bk := own(base + uint64(j))
-								ver++
-								kvs[j] = KV{Key: bk, Value: verValue(bk, ver)}
-								if model[bk] == nil && !seen[bk] {
-									wantIns++
-								}
-								seen[bk] = true
-								model[bk] = kvs[j].Value
-							}
-							if got := st.MultiPut(w, kvs); got != wantIns {
-								t.Errorf("worker %d: MultiPut inserted %d, model wants %d", wi, got, wantIns)
-							}
-						default:
-							n := int(rng.Uint64()%5) + 2
-							base := rng.Uint64()
-							keys := make([]uint64, n)
-							for j := range keys {
-								keys[j] = own(base + uint64(j))
-							}
-							vals, oks := st.MultiGet(w, keys)
-							for j, bk := range keys {
-								mv := model[bk]
-								if oks[j] != (mv != nil) || !bytes.Equal(vals[j], mv) {
-									t.Errorf("worker %d: MultiGet(%d) = %x,%v; model %x", wi, bk, vals[j], oks[j], mv)
-								}
-							}
-						}
-					}
-					for i := uint64(0); i < 128; i++ {
-						k := own(i)
-						v, ok := st.Get(w, k)
-						mv := model[k]
-						if ok != (mv != nil) || !bytes.Equal(v, mv) {
-							t.Errorf("worker %d: final Get(%d) = %x,%v; model %x", wi, k, v, ok, mv)
-						}
-					}
-				}(wi)
-			}
-			work.Wait()
+			// The shared KV-model harness (kvmodel_test.go) does the
+			// striped drive-and-check; this test contributes the
+			// concurrent splitter.
+			driveKVModel(t, st, nil, workers, opsPer)
 			close(stop)
 			wg.Wait()
 			if st.ReshardStats().Splits == 0 {
@@ -339,78 +260,10 @@ func TestAsyncSplitLinearizableVsModel(t *testing.T) {
 					time.Sleep(300 * time.Microsecond)
 				}
 			}()
-			var work sync.WaitGroup
-			for wi := 0; wi < workers; wi++ {
-				work.Add(1)
-				go func(wi int) {
-					defer work.Done()
-					class := core.Big
-					if wi%2 == 1 {
-						class = core.Little
-					}
-					w := core.NewWorker(core.WorkerConfig{Class: class})
-					rng := prng.NewSplitMix64(uint64(wi)*0xf00d + 9)
-					model := make(map[uint64][]byte)
-					ver := uint64(0)
-					own := func(i uint64) uint64 { return (i%128)*workers + uint64(wi) }
-					for op := 0; op < opsPer; op++ {
-						k := own(rng.Uint64())
-						switch rng.Uint64() % 8 {
-						case 0, 1, 2:
-							ver++
-							v := verValue(k, ver)
-							if ins, had := a.Put(w, k, v), model[k] != nil; ins == had {
-								t.Errorf("worker %d: Put(%d) inserted=%v, model had=%v", wi, k, ins, had)
-							}
-							model[k] = v
-						case 3, 4:
-							v, ok := a.Get(w, k)
-							mv := model[k]
-							if ok != (mv != nil) || !bytes.Equal(v, mv) {
-								t.Errorf("worker %d: Get(%d) = %x,%v; model %x", wi, k, v, ok, mv)
-							}
-						case 5:
-							if present, had := a.Delete(w, k), model[k] != nil; present != had {
-								t.Errorf("worker %d: Delete(%d) present=%v, model had=%v", wi, k, present, had)
-							}
-							delete(model, k)
-						case 6:
-							// Fire-and-forget write, then a barrier via a
-							// waited Get on the same shard FIFO: the ring
-							// preserves this worker's order.
-							ver++
-							v := verValue(k, ver)
-							a.PutAsync(w, k, v)
-							model[k] = v
-							got, ok := a.Get(w, k)
-							if !ok || !bytes.Equal(got, v) {
-								t.Errorf("worker %d: Get(%d) after PutAsync = %x,%v; want %x", wi, k, got, ok, v)
-							}
-						default:
-							// Ordered scan across every worker's stripe
-							// (all owned keys are < 128*workers): order
-							// must hold while shards fission underneath.
-							prev, first := uint64(0), true
-							a.Range(w, 0, 128*workers, func(sk uint64, sv []byte) bool {
-								if !first && sk <= prev {
-									t.Errorf("Range emitted %d after %d", sk, prev)
-								}
-								prev, first = sk, false
-								return true
-							})
-						}
-					}
-					for i := uint64(0); i < 128; i++ {
-						k := own(i)
-						v, ok := a.Get(w, k)
-						mv := model[k]
-						if ok != (mv != nil) || !bytes.Equal(v, mv) {
-							t.Errorf("worker %d: final Get(%d) = %x,%v; model %x", wi, k, v, ok, mv)
-						}
-					}
-				}(wi)
-			}
-			work.Wait()
+			// Same shared harness as the sync test, but through the
+			// pipeline, with PutAsync as the fire-and-forget hook so the
+			// read-your-write FIFO contract is pinned mid-split.
+			driveKVModel(t, a, a.PutAsync, workers, opsPer)
 			close(stop)
 			wg.Wait()
 			w := core.NewWorker(core.WorkerConfig{Class: core.Big})

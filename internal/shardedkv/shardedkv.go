@@ -65,6 +65,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/locks"
+	"repro/internal/wal"
 )
 
 // Engine is the per-shard storage interface. Implementations are NOT
@@ -91,7 +92,7 @@ type Engine interface {
 }
 
 // KV is one key/value pair of a batched put.
-type KV struct {
+type Pair struct {
 	Key   uint64
 	Value []byte
 }
@@ -123,6 +124,12 @@ type Config struct {
 	// (populating ShardStats.LockAttempts/LockContended) without
 	// enabling resharding. Implied by Reshard.
 	TrackContention bool
+	// Durability, if non-nil, gives every shard a write-ahead log under
+	// Dir (durable.go): writes append under the shard lock and group-
+	// commit one fsync per batch after release, with the sync policy
+	// keyed to the writer's SLO class. New replays any previous run
+	// found in Dir before serving. Nil keeps the store volatile.
+	Durability *DurabilityConfig
 }
 
 // ShardStats is a snapshot of one shard's operation counters.
@@ -167,7 +174,11 @@ type shard struct {
 	forward atomic.Pointer[splitRecord]
 	// pipe is the shard's combining-pipeline state when an AsyncStore
 	// is attached (pipeline.go); nil otherwise.
-	pipe    atomic.Pointer[pipeShard]
+	pipe atomic.Pointer[pipeShard]
+	// wal is the shard's append-only log when Config.Durability is set;
+	// nil otherwise. Appends run under the shard lock (buffered, no
+	// fsync); Commit/Sync run strictly after release (durable.go).
+	wal     *wal.Log
 	gets    atomic.Uint64
 	puts    atomic.Uint64
 	deletes atomic.Uint64
@@ -225,6 +236,9 @@ type Store struct {
 	async     atomic.Pointer[AsyncStore]
 	retired   retiredStats
 	detector  *reshardDetector
+	// dur is the durability state when Config.Durability is set
+	// (durable.go); nil otherwise.
+	dur *durability
 }
 
 // retiredStats accumulates the counters of split-away shards.
@@ -246,8 +260,21 @@ func (s *Store) foldRetired(sh *shard) {
 	s.retired.lockContended.Add(st.LockContended)
 }
 
-// New builds a store from cfg.
+// New builds a store from cfg. With Config.Durability set it panics
+// on log-directory I/O errors (startup disk failure is fatal to a
+// durable store); use Open to handle those as errors. Torn or corrupt
+// log records are NOT errors — recovery truncates them.
 func New(cfg Config) *Store {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("shardedkv: durable open failed: %v", err))
+	}
+	return s
+}
+
+// Open is New with the durability I/O errors surfaced. Without
+// Config.Durability it cannot fail.
+func Open(cfg Config) (*Store, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
 	}
@@ -263,18 +290,41 @@ func New(cfg Config) *Store {
 		newEngine: cfg.NewEngine,
 		contend:   cfg.Reshard != nil || cfg.TrackContention,
 	}
+	if d := cfg.Durability; d != nil {
+		gen, err := readCurrentGen(d.Dir)
+		if err != nil {
+			return nil, err
+		}
+		s.dur = &durability{
+			root:   d.Dir,
+			genDir: genDirName(d.Dir, gen+1),
+			opts:   wal.Options{SegmentBytes: d.SegmentBytes},
+			wait: [2]bool{
+				core.Big:    resolveWait(d.Interactive, true),
+				core.Little: resolveWait(d.Bulk, false),
+			},
+		}
+	}
 	m := &shardMap{groups: make([][]*shard, cfg.Shards), shards: make([]*shard, cfg.Shards)}
 	for i := 0; i < cfg.Shards; i++ {
-		sh := s.newShard(i, i, 0)
+		sh, err := s.newShard(i, i, 0)
+		if err != nil {
+			return nil, err
+		}
 		m.groups[i] = []*shard{sh}
 		m.shards[i] = sh
 	}
 	s.nextID = cfg.Shards
 	s.smap.Store(m)
+	if cfg.Durability != nil {
+		if err := openDurable(s, cfg.Durability); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Reshard != nil {
 		s.startReshard(*cfg.Reshard)
 	}
-	return s
+	return s, nil
 }
 
 // NumShards returns the current live shard count (grows with splits).
@@ -313,22 +363,44 @@ func (s *Store) Get(w *core.Worker, k uint64) ([]byte, bool) {
 }
 
 // Put stores k=v on behalf of worker w; reports insert-vs-replace.
+// With durability on, the record is appended (buffered) under the
+// shard lock and, for a sync-wait class, committed after release —
+// wal.Commit's leader election is the commit pipeline: this writer
+// either piggybacks on an in-flight group sync or leads one for
+// every append since the last.
 func (s *Store) Put(w *core.Worker, k uint64, v []byte) bool {
 	sh := s.acquireLive(w, hashOf(k))
 	inserted := sh.eng.Put(k, v)
 	s.pad(w)
+	lg := sh.wal
+	var lsn uint64
+	if lg != nil {
+		lsn, _ = lg.Append(wal.KindPut, k, v)
+	}
 	sh.lock.Release(w)
 	sh.puts.Add(1)
+	if lg != nil && s.syncWaitFor(w) {
+		_ = lg.Commit(lsn)
+	}
 	return inserted
 }
 
-// Delete removes k on behalf of worker w; reports presence.
+// Delete removes k on behalf of worker w; reports presence. Sync
+// policy as in Put.
 func (s *Store) Delete(w *core.Worker, k uint64) bool {
 	sh := s.acquireLive(w, hashOf(k))
 	present := sh.eng.Delete(k)
 	s.pad(w)
+	lg := sh.wal
+	var lsn uint64
+	if lg != nil {
+		lsn, _ = lg.Append(wal.KindDelete, k, nil)
+	}
 	sh.lock.Release(w)
 	sh.deletes.Add(1)
+	if lg != nil && s.syncWaitFor(w) {
+		_ = lg.Commit(lsn)
+	}
 	return present
 }
 
@@ -350,11 +422,11 @@ func (s *Store) Len(w *core.Worker) int {
 // scans. fn returning false stops the emission (the collection cost is
 // already paid).
 func (s *Store) Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool) {
-	var lists [][]KV
+	var lists [][]Pair
 	s.forEachLive(w, func(sh *shard) {
-		var l []KV
+		var l []Pair
 		sh.eng.Range(lo, hi, func(k uint64, v []byte) bool {
-			l = append(l, KV{Key: k, Value: v})
+			l = append(l, Pair{Key: k, Value: v})
 			return true
 		})
 		s.pad(w)
@@ -393,18 +465,18 @@ type unorderedScanner interface {
 // engine into parts (parts[i] extends with request i's in-range pairs,
 // in ascending key order). Caller holds the shard lock; one pad per
 // engine walk, exactly as the point ops pay one pad per operation.
-func (s *Store) collectShardRanges(w *core.Worker, sh *shard, reqs []RangeReq, parts [][]KV) {
+func (s *Store) collectShardRanges(w *core.Worker, sh *shard, reqs []RangeReq, parts [][]Pair) {
 	if br, ok := sh.eng.(batchRanger); ok {
 		// One engine walk serves the whole batch: one pad, one
 		// engine operation.
 		br.BatchRange(reqs, func(ri int, k uint64, v []byte) {
-			parts[ri] = append(parts[ri], KV{Key: k, Value: v})
+			parts[ri] = append(parts[ri], Pair{Key: k, Value: v})
 		})
 		s.pad(w)
 	} else {
 		for ri, r := range reqs {
 			sh.eng.Range(r.Lo, r.Hi, func(k uint64, v []byte) bool {
-				parts[ri] = append(parts[ri], KV{Key: k, Value: v})
+				parts[ri] = append(parts[ri], Pair{Key: k, Value: v})
 				return true
 			})
 			s.pad(w)
@@ -420,19 +492,19 @@ func (s *Store) collectShardRanges(w *core.Worker, sh *shard, reqs []RangeReq, p
 // Requests see the same per-shard-consistent view as Range, and all
 // requests see each shard at the same instant (they share the lock
 // take).
-func (s *Store) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
-	out := make([][]KV, len(reqs))
+func (s *Store) MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair {
+	out := make([][]Pair, len(reqs))
 	if len(reqs) == 0 {
 		return out
 	}
-	var perShard [][][]KV // per visited shard: parts per request
+	var perShard [][][]Pair // per visited shard: parts per request
 	s.forEachLive(w, func(sh *shard) {
-		parts := make([][]KV, len(reqs))
+		parts := make([][]Pair, len(reqs))
 		s.collectShardRanges(w, sh, reqs, parts)
 		sh.batches.Add(1)
 		perShard = append(perShard, parts)
 	})
-	lists := make([][]KV, len(perShard))
+	lists := make([][]Pair, len(perShard))
 	for ri := range reqs {
 		for si, parts := range perShard {
 			lists[si] = parts[ri]
@@ -445,7 +517,7 @@ func (s *Store) MultiRange(w *core.Worker, reqs []RangeReq) [][]KV {
 // mergeKV merges per-shard sorted KV lists into one ascending list.
 // Shard counts are small, so a select-the-min pass beats heap
 // bookkeeping.
-func mergeKV(lists [][]KV) []KV {
+func mergeKV(lists [][]Pair) []Pair {
 	total := 0
 	for _, l := range lists {
 		total += len(l)
@@ -453,7 +525,7 @@ func mergeKV(lists [][]KV) []KV {
 	if total == 0 {
 		return nil
 	}
-	out := make([]KV, 0, total)
+	out := make([]Pair, 0, total)
 	idx := make([]int, len(lists))
 	for len(out) < total {
 		best := -1
@@ -545,7 +617,15 @@ func (s *Store) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok []boo
 // MultiPut writes all pairs in one pass, taking each touched shard's
 // lock exactly once. Returns the number of newly inserted keys.
 // Duplicate keys within the batch apply in batch order (last wins).
-func (s *Store) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
+// With durability on, each touched shard logs its whole sub-batch
+// under the one lock take and a sync-wait class pays at most one
+// group commit per touched shard, after every lock is released.
+func (s *Store) MultiPut(w *core.Worker, kvs []Pair) (inserted int) {
+	type walMark struct {
+		lg  *wal.Log
+		lsn uint64
+	}
+	var marks []walMark
 	s.execGrouped(w, len(kvs), func(i int) uint64 { return hashOf(kvs[i].Key) }, func(sh *shard, idx []int) {
 		for _, i := range idx {
 			if sh.eng.Put(kvs[i].Key, kvs[i].Value) {
@@ -553,9 +633,21 @@ func (s *Store) MultiPut(w *core.Worker, kvs []KV) (inserted int) {
 			}
 			s.pad(w)
 		}
+		if sh.wal != nil {
+			var lsn uint64
+			for _, i := range idx {
+				lsn, _ = sh.wal.Append(wal.KindPut, kvs[i].Key, kvs[i].Value)
+			}
+			marks = append(marks, walMark{lg: sh.wal, lsn: lsn})
+		}
 		sh.puts.Add(uint64(len(idx)))
 		sh.batches.Add(1)
 	})
+	if len(marks) > 0 && s.syncWaitFor(w) {
+		for _, m := range marks {
+			_ = m.lg.Commit(m.lsn)
+		}
+	}
 	return inserted
 }
 

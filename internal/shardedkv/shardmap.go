@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/locks"
 	"repro/internal/prng"
+	"repro/internal/wal"
 )
 
 // This file implements the copy-on-write shard map behind dynamic
@@ -130,8 +131,13 @@ func (m *shardMap) withSplit(parent *shard, kids [2]*shard) *shardMap {
 	return nm
 }
 
-// newShard builds one shard. Caller holds splitMu (or is in New).
-func (s *Store) newShard(id, group int, depth uint) *shard {
+// newShard builds one shard. Caller holds splitMu (or is in Open).
+// With durability on it also opens the shard's log in the live
+// generation directory; ids are creation ordinals, so the log
+// directory name doubles as the replay position (recovery replays
+// shard dirs in ascending id order — parents strictly before their
+// split children).
+func (s *Store) newShard(id, group int, depth uint) (*shard, error) {
 	sh := &shard{id: id, group: group, depth: depth}
 	if s.contend {
 		c := locks.WithContention(s.newLock())
@@ -140,7 +146,15 @@ func (s *Store) newShard(id, group int, depth uint) *shard {
 		sh.lock = s.newLock()
 	}
 	sh.eng = s.newEngine(id)
-	return sh
+	if s.dur != nil {
+		lg, err := wal.Open(shardWalDir(s.dur.genDir, id), s.dur.opts)
+		if err != nil {
+			return nil, err
+		}
+		sh.wal = lg
+		s.dur.track(lg)
+	}
+	return sh, nil
 }
 
 // acquireLive locks and returns the live shard owning hash h, chasing
@@ -227,13 +241,31 @@ func (s *Store) split(w *core.Worker, sh *shard) bool {
 		sh.lock.Release(w)
 		return false
 	}
+	var pend []*request
 	a := s.async.Load()
 	if a != nil {
-		a.drainForSplit(w, sh)
+		a.drainForSplit(w, sh, &pend)
 	}
 	var kids [2]*shard
 	for i := range kids {
-		kids[i] = s.newShard(s.nextID, sh.group, sh.depth+1)
+		// Children get fresh, empty logs: the rehomed keys below stay
+		// covered by the parent's log, which is retained until the next
+		// checkpoint's generation flip, and ascending-id replay order
+		// applies the parent's history before any child record.
+		kid, err := s.newShard(s.nextID, sh.group, sh.depth+1)
+		if err != nil {
+			// Child log open failed (disk trouble). Abort the split:
+			// nothing has been published, the parent stays live. The
+			// first child's (empty, unpublished) log closes after
+			// Release — Close fsyncs and must not run under the lock.
+			sh.lock.Release(w)
+			if i == 1 && kids[0].wal != nil {
+				_ = kids[0].wal.Close()
+			}
+			completePending(pend)
+			return false
+		}
+		kids[i] = kid
 		s.nextID++
 	}
 	part := func(k uint64, v []byte) bool {
@@ -255,7 +287,7 @@ func (s *Store) split(w *core.Worker, sh *shard) bool {
 	s.splits.Add(1)
 	sh.forward.Store(&splitRecord{bit: sh.depth, kids: kids})
 	if a != nil {
-		a.drainForSplit(w, sh)
+		a.drainForSplit(w, sh, &pend)
 	}
 	// Fold counters after the last drain that can touch sh's engine:
 	// forwarded ops bump the children (live in the new map), so sh's
@@ -269,5 +301,9 @@ func (s *Store) split(w *core.Worker, sh *shard) bool {
 	sh.eng = nil
 	s.smap.Store(m.withSplit(sh, kids))
 	sh.lock.Release(w)
+	// Sync-wait writes drained during the rendezvous were applied and
+	// logged but not yet durable; their futures were held back so the
+	// drain never fsyncs under sh's lock. Commit and complete them now.
+	completePending(pend)
 	return true
 }

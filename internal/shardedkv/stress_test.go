@@ -81,10 +81,10 @@ func runStress(t *testing.T, st *Store, workers, opsPer int) {
 				default:
 					n := int(rng.Uint64()%6) + 2
 					if rng.Uint64()&1 == 0 {
-						kvs := make([]KV, n)
+						kvs := make([]Pair, n)
 						for j := range kvs {
 							bk := rng.Uint64() % keyspace
-							kvs[j] = KV{Key: bk, Value: stressValue(bk)}
+							kvs[j] = Pair{Key: bk, Value: stressValue(bk)}
 						}
 						inserts.Add(int64(st.MultiPut(w, kvs)))
 					} else {

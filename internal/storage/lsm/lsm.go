@@ -287,6 +287,78 @@ func (s *Store) Range(lo, hi uint64, fn func(k uint64, v []byte) bool) {
 	}
 }
 
+// Range calls fn for each live key in the version in ascending order
+// until fn returns false — the run-stack half of Store.Range, with the
+// same newest-wins shadowing and tombstone skipping. A Version is
+// immutable, so unlike Store.Range this needs no external lock; it is
+// the read side of the Snapshotter capability used by checkpoint
+// dumps.
+func (v *Version) Range(fn func(k uint64, val []byte) bool) {
+	runs := v.runs
+	idx := make([]int, len(runs))
+	for {
+		var best uint64
+		have := false
+		for i, r := range runs {
+			if idx[i] < len(r.keys) {
+				if k := r.keys[idx[i]]; !have || k < best {
+					best, have = k, true
+				}
+			}
+		}
+		if !have {
+			return
+		}
+		var val []byte
+		picked := false
+		for i, r := range runs {
+			if idx[i] < len(r.keys) && r.keys[idx[i]] == best {
+				if !picked {
+					val, picked = r.values[idx[i]], true
+				}
+				idx[i]++
+			}
+		}
+		if !isTomb(val) && !fn(best, val) {
+			return
+		}
+	}
+}
+
+// Snapshot freezes the memtable and pins the resulting version: a
+// stable view of the full store contents whose reads need no lock.
+// Must be called under the metadata lock; pair with Release.
+func (s *Store) Snapshot() *Version {
+	if s.mem.Len() > 0 {
+		s.freeze()
+	}
+	return s.Acquire()
+}
+
+// Load bulk-merges pairs into the store as one immutable run placed
+// newest in the stack, so loaded pairs shadow any existing value for
+// the same key. keys must be strictly ascending and aligned with
+// values; no pair may be a tombstone. This is the recovery fast path:
+// a checkpoint's worth of state lands in one run with no memtable
+// churn or per-op freeze checks.
+func (s *Store) Load(keys []uint64, values [][]byte) {
+	if len(keys) == 0 {
+		return
+	}
+	if s.mem.Len() > 0 {
+		// The memtable would shadow the loaded run; fold it below.
+		s.freeze()
+	}
+	for _, k := range keys {
+		if _, live := s.versions.Get(k); !live {
+			s.live++
+		}
+	}
+	r := &run{keys: keys, values: values}
+	s.seq++
+	s.versions = &Version{runs: append([]*run{r}, s.versions.runs...), seq: s.seq}
+}
+
 // Acquire pins and returns the current version (snapshot acquisition;
 // LevelDB's db_bench randomread does this per read under the global
 // mutex).

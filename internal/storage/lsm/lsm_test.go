@@ -323,3 +323,68 @@ func TestVsReferenceMap(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotRangeStable pins the Snapshotter substrate: a pinned
+// version's Range must see exactly the live state at freeze time,
+// unaffected by later writes.
+func TestSnapshotRangeStable(t *testing.T) {
+	s := New(3)
+	s.FlushBytes = 1 << 10
+	for i := uint64(0); i < 500; i++ {
+		s.Put(i, []byte{byte(i)})
+	}
+	s.Delete(7)
+	v := s.Snapshot()
+	defer s.Release(v)
+
+	// Post-snapshot churn must be invisible to v.
+	for i := uint64(0); i < 500; i += 2 {
+		s.Delete(i)
+	}
+	s.Put(7, []byte{99})
+
+	got := map[uint64]byte{}
+	var prev uint64
+	first := true
+	v.Range(func(k uint64, val []byte) bool {
+		if !first && k <= prev {
+			t.Fatalf("Version.Range out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		got[k] = val[0]
+		return true
+	})
+	if len(got) != 499 {
+		t.Fatalf("snapshot saw %d keys, want 499", len(got))
+	}
+	if _, ok := got[7]; ok {
+		t.Fatal("snapshot resurrected deleted key 7")
+	}
+	if got[3] != 3 {
+		t.Fatalf("snapshot value for 3 = %d", got[3])
+	}
+}
+
+// TestLoadShadowsAndCounts pins the recovery bulk-load: loaded pairs
+// win over existing state and the live count stays exact.
+func TestLoadShadowsAndCounts(t *testing.T) {
+	s := New(5)
+	s.Put(1, []byte{1})
+	s.Put(2, []byte{2})
+	s.Delete(2)
+	s.Load([]uint64{2, 3}, [][]byte{{22}, {33}})
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	for k, want := range map[uint64]byte{1: 1, 2: 22, 3: 33} {
+		v, ok := s.Get(k)
+		if !ok || v[0] != want {
+			t.Fatalf("Get(%d) = %v,%v want %d", k, v, ok, want)
+		}
+	}
+	// A later Put still shadows the loaded run.
+	s.Put(3, []byte{44})
+	if v, _ := s.Get(3); v[0] != 44 {
+		t.Fatalf("post-load Put lost: %v", v)
+	}
+}
