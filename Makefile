@@ -17,6 +17,7 @@ RACE_PKGS = . \
 	./internal/locks \
 	./internal/shardedkv \
 	./internal/wal \
+	./internal/fault \
 	./internal/kvserver \
 	./internal/kvclient \
 	./internal/storage/... \
@@ -37,7 +38,7 @@ RACE_PKGS = . \
 # no-op when nothing changed).
 REPOLINT = bin/repolint
 
-.PHONY: check build vet lint lint-test fmt-check test short race ci bench bench-json net-smoke wal-smoke FORCE
+.PHONY: check build vet lint lint-test fmt-check test short race ci bench bench-json net-smoke wal-smoke soak FORCE
 
 check: vet lint lint-test fmt-check build test
 
@@ -145,9 +146,24 @@ wal-smoke:
 	rm -rf $$tmp; \
 	echo "wal-smoke: durability held across kill -9"
 
+# soak is the chaos harness: cmd/kvsoak serves the REAL kvserver
+# binary with fault injection armed on alternate incarnations, drives
+# mixed-class traffic through the retrying client while kill -9ing and
+# restarting the server, fuzzes the listener, and checks every read
+# against a per-key model — exit 1 if any sync-acked write is lost or
+# any read returns an impossible value. Runs as a non-gating CI job
+# (soak-smoke) next to wal-smoke; locally, raise -dur for longer runs.
+soak:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/kvserver ./cmd/kvserver; \
+	$(GO) build -o $$tmp/kvsoak ./cmd/kvsoak; \
+	$$tmp/kvsoak -server $$tmp/kvserver -dur $${SOAK_DUR:-60s} -seed $${SOAK_SEED:-1} || { rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp
+
 # ci is what the workflow runs: the tier-1 gate, the race gate, the
-# short smoke paths, and the network smoke. wal-smoke is a separate
-# non-gating job in the workflow.
+# short smoke paths, and the network smoke. wal-smoke and soak are
+# separate non-gating jobs in the workflow.
 ci: check race short net-smoke
 
 bench:

@@ -235,9 +235,9 @@ func preload(st *shardedkv.Store, cfg benchConfig) {
 // waiting, so Put reports false — the bench ignores it.
 type ffAPI struct{ *shardedkv.AsyncStore }
 
-func (f ffAPI) Put(w *core.Worker, k uint64, v []byte) bool {
+func (f ffAPI) Put(w *core.Worker, k uint64, v []byte) (bool, error) {
 	f.AsyncStore.PutAsync(w, k, v)
-	return false
+	return false, nil
 }
 
 // run executes one configuration and returns its summary row, the

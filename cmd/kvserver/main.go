@@ -34,9 +34,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/kvserver"
 	"repro/internal/locks"
 	"repro/internal/shardedkv"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -67,6 +69,9 @@ func main() {
 	walDir := flag.String("wal", "", "write-ahead-log root directory; enables durability (recovery on start, group commit while serving)")
 	walSegment := flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes; 0 = default")
 	statsEvery := flag.Duration("stats-every", 0, "dump server stats to stderr at this interval; 0 disables")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. 'wal.fsync:nth=3:error' (see internal/fault.Parse); chaos harness only")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for probabilistic fault triggers")
+	forceSplitEvery := flag.Duration("force-split-every", 0, "force a shard split at this interval, cycling target keys; 0 disables (chaos harness only)")
 	flag.Parse()
 
 	var engSpec *shardedkv.EngineSpec
@@ -95,6 +100,16 @@ func main() {
 			workload.Spin(shim.CSUnits(units, w.Class()))
 		}
 	}
+	var reg *fault.Registry
+	if *faults != "" {
+		var err error
+		reg, err = fault.Parse(*faultSeed, *faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvserver: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "kvserver: fault injection armed: %s (seed %d)\n", *faults, *faultSeed)
+	}
 	if *walDir != "" {
 		// Default policies: interactive requests ack after their group
 		// commit, bulk requests ack async (durable with a later batch
@@ -103,7 +118,16 @@ func main() {
 			Dir:          *walDir,
 			SegmentBytes: *walSegment,
 		}
+		if reg != nil {
+			scfg.Durability.FS = wal.FaultFS{Reg: reg}
+		}
 		fmt.Fprintf(os.Stderr, "kvserver: wal %s — recovering\n", *walDir)
+	}
+	if *forceSplitEvery > 0 {
+		// The chaos harness wants splits mid-traffic without waiting for
+		// the skew detector; manual mode with a budget keeps them
+		// deterministic-ish and bounded.
+		scfg.Reshard = &shardedkv.ReshardConfig{Manual: true, MaxShards: *shards * 4}
 	}
 	st := shardedkv.New(scfg)
 	var async *shardedkv.AsyncStore
@@ -131,6 +155,16 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "kvserver: serving %s/%s (%d shards, pipeline=%v) on %s\n",
 		*engine, *lock, *shards, *pipeline, srv.Addr())
+
+	if *forceSplitEvery > 0 {
+		go func() {
+			w := core.NewWorker(core.WorkerConfig{Class: core.Big})
+			for i := uint64(0); ; i++ {
+				time.Sleep(*forceSplitEvery)
+				st.ForceSplit(w, i%1024)
+			}
+		}()
+	}
 
 	if *statsEvery > 0 {
 		go func() {

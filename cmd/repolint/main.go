@@ -1,6 +1,6 @@
 // Command repolint is the repository's multichecker: it bundles the
 // custom concurrency-contract analyzers (classhintpair, lockheldcall,
-// lockorder, atomicfield, electprobe, wireconst) plus the
+// lockorder, atomicfield, electprobe, wireconst, statustext) plus the
 // stock-but-off-by-default shadow pass into one `go vet -vettool`
 // binary, so the contracts documented in ARCHITECTURE.md ("Enforced
 // invariants") gate every `make check` / `make ci` run. The
@@ -33,6 +33,7 @@ import (
 	"repro/internal/analysis/passes/lockheldcall"
 	"repro/internal/analysis/passes/lockorder"
 	"repro/internal/analysis/passes/shadow"
+	"repro/internal/analysis/passes/statustext"
 	"repro/internal/analysis/passes/wireconst"
 )
 
@@ -44,6 +45,7 @@ var Analyzers = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	electprobe.Analyzer,
 	wireconst.Analyzer,
+	statustext.Analyzer,
 	shadow.Analyzer,
 }
 

@@ -1,0 +1,126 @@
+// Package statustext enforces the protocol's error-naming contract:
+// every exported Status* wire constant must have an entry in the
+// package's statusText map, so StatusText never falls back to the
+// numeric "status 0xNN" form for a status the package itself defines.
+//
+// The failure mode this catches is purely additive drift: a new
+// status constant (say StatusErrUnavailable) lands with its wire
+// value appended correctly — wireconst is happy — but without a
+// human-readable name, so every client error message, log line and
+// docs/protocol.md row that renders through StatusText degrades to a
+// hex code. The pass is silent in packages that declare no statusText
+// map; where one exists, the constant set and the map keys must
+// agree.
+package statustext
+
+import (
+	"go/ast"
+	"go/types"
+	"unicode"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the statustext pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statustext",
+	Doc:  "check that every exported Status* wire constant has a statusText entry",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	keys, ok := statusTextKeys(pass)
+	if !ok {
+		return nil // package declares no statusText map; out of scope
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !isStatusConst(name.Name) {
+						continue
+					}
+					if !isUint8Const(pass.TypesInfo, name) {
+						continue
+					}
+					if !keys[name.Name] {
+						pass.Reportf(name.Pos(), "wire status %s has no statusText entry; StatusText falls back to a numeric code — name every status", name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// statusTextKeys finds the package-level `statusText` map composite
+// literal and returns the set of Status* identifiers used as keys.
+// The second result is false when the package has no such map.
+func statusTextKeys(pass *analysis.Pass) (map[string]bool, bool) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "statusText" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					keys := make(map[string]bool)
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							keys[id.Name] = true
+						}
+					}
+					return keys, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// isStatusConst reports whether name is an exported member of the
+// Status* wire family (StatusOK yes, StatusText and Statusy no — the
+// prefix must be followed by an upper-case rune, mirroring wireconst's
+// family rule, and StatusText is a function anyway).
+func isStatusConst(name string) bool {
+	const fam = "Status"
+	if !ast.IsExported(name) || len(name) <= len(fam) || name[:len(fam)] != fam {
+		return false
+	}
+	return unicode.IsUpper(rune(name[len(fam)]))
+}
+
+// isUint8Const reports whether ident defines a constant of underlying
+// type uint8 (the wire-byte shape every protocol status has).
+func isUint8Const(info *types.Info, ident *ast.Ident) bool {
+	obj, ok := info.Defs[ident].(*types.Const)
+	if !ok {
+		return false
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}

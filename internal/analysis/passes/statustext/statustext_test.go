@@ -1,0 +1,19 @@
+package statustext_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/statustext"
+)
+
+func TestStatusText(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "statustext"), statustext.Analyzer)
+}
+
+// TestNoStatusMapIsSilent pins the scoping rule: packages without a
+// statusText map declare no naming contract, so the pass says nothing.
+func TestNoStatusMapIsSilent(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "nostatusmap"), statustext.Analyzer)
+}

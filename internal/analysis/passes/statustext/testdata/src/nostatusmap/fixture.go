@@ -1,0 +1,10 @@
+// Fixture: a package with Status* constants but NO statusText map is
+// out of the statustext pass's scope — not every package that borrows
+// the Status prefix renders statuses through a name table. Nothing in
+// this file may be flagged.
+package nostatusmap
+
+const (
+	StatusIdle    uint8 = 0
+	StatusRunning uint8 = 1
+)

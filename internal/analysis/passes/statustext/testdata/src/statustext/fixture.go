@@ -1,0 +1,21 @@
+// Fixture for the statustext pass: every exported Status* uint8
+// constant must appear as a key of the package's statusText map.
+// Unexported constants, non-uint8 constants, and names where "Status"
+// is not followed by an upper-case rune are out of scope.
+package statustext
+
+const (
+	StatusOK          uint8 = 0x00
+	StatusErr         uint8 = 0x01
+	StatusErrUnnamed  uint8 = 0x02 // want `wire status StatusErrUnnamed has no statusText entry`
+	StatusErrShutdown uint8 = 0x03
+	statusInternal    uint8 = 0x7f
+	Statusy           uint8 = 0x10
+	StatusCodeMax           = 255 // untyped int, not a wire byte
+)
+
+var statusText = map[uint8]string{
+	StatusOK:          "ok",
+	StatusErr:         "error",
+	StatusErrShutdown: "server shutting down",
+}

@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"net"
+	"time"
+)
+
+// Conn wraps a net.Conn with the registry's "conn.read" and
+// "conn.write" injection points. A firing error or drop rule severs
+// the underlying connection, so the peer observes a real teardown —
+// the shape of failure the client's pending-call contract is tested
+// against. Short rules on conn.write deliver a torn frame (a prefix
+// reaches the wire, then the conn dies mid-frame).
+type Conn struct {
+	net.Conn
+	Reg *Registry
+}
+
+// WrapConn returns c with faults from reg armed on it; with a nil
+// registry it returns c unchanged.
+func WrapConn(c net.Conn, reg *Registry) net.Conn {
+	if reg == nil {
+		return c
+	}
+	return &Conn{Conn: c, Reg: reg}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	out := c.Reg.Eval("conn.read", len(p))
+	if out.Sleep > 0 {
+		time.Sleep(out.Sleep)
+	}
+	if out.Err != nil {
+		_ = c.Conn.Close()
+		return 0, out.Err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	out := c.Reg.Eval("conn.write", len(p))
+	if out.Sleep > 0 {
+		time.Sleep(out.Sleep)
+	}
+	if out.Err == nil {
+		return c.Conn.Write(p)
+	}
+	n := 0
+	if out.Short > 0 {
+		short := out.Short
+		if short > len(p) {
+			short = len(p)
+		}
+		n, _ = c.Conn.Write(p[:short])
+	}
+	_ = c.Conn.Close()
+	return n, out.Err
+}

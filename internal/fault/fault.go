@@ -1,0 +1,379 @@
+// Package fault is a deterministic, seeded fault-injection registry.
+//
+// Code under test (or under chaos — see cmd/kvsoak) declares named
+// injection points: "wal.fsync", "wal.write", "conn.read", … At each
+// point it calls Registry.Eval and honours the Outcome: return the
+// injected error, write only a prefix (a torn write), sleep, or drop
+// the connection. A nil *Registry is always a no-op, so production
+// paths pay one nil check and no allocation.
+//
+// Rules are matched in the order they were added; the first rule whose
+// trigger fires decides the outcome. All randomness comes from one
+// seeded SplitMix64 stream, so a (seed, schedule) pair replays the
+// same fault sequence — the property the soak harness leans on to
+// reproduce failures.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// ErrInjected is the sentinel every injected error wraps; test code
+// asserts errors.Is(err, fault.ErrInjected) to distinguish injected
+// failures from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// Error is the concrete injected error: which point fired and on
+// which call. It wraps ErrInjected.
+type Error struct {
+	Point string
+	Call  uint64 // 1-based call count at the point when the rule fired
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("injected fault at %s (call %d)", e.Point, e.Call)
+}
+
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Action says what a firing rule does to the faulted operation.
+type Action uint8
+
+const (
+	// ActError fails the operation with an *Error.
+	ActError Action = iota
+	// ActShort lets Bytes bytes through, then fails: a torn write.
+	ActShort
+	// ActDelay sleeps Delay and then lets the operation proceed.
+	ActDelay
+	// ActDrop asks the caller to sever the underlying transport
+	// (connection points only) and fail the operation.
+	ActDrop
+)
+
+// Rule arms one injection point with a trigger and an action. Exactly
+// one trigger field must be set: Nth (fire once, on the nth matching
+// call, 1-based), Every (fire on every multiple), Prob (fire with
+// that probability per call, from the registry's seeded stream),
+// After (fire on every call once the point's cumulative byte count
+// reaches the threshold), or Always.
+type Rule struct {
+	Point string
+
+	Nth    uint64
+	Every  uint64
+	Prob   float64
+	After  uint64
+	Always bool
+
+	// Count caps how many times the rule fires (0 = unlimited; a
+	// Nth rule fires once regardless).
+	Count uint64
+
+	Act   Action
+	Bytes int           // ActShort: bytes let through before the failure
+	Delay time.Duration // ActDelay: how long to stall the operation
+}
+
+func (r *Rule) validate() error {
+	if r.Point == "" {
+		return errors.New("fault: rule has no injection point")
+	}
+	set := 0
+	if r.Nth > 0 {
+		set++
+	}
+	if r.Every > 0 {
+		set++
+	}
+	if r.Prob > 0 {
+		set++
+	}
+	if r.After > 0 {
+		set++
+	}
+	if r.Always {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("fault: rule at %s must set exactly one trigger (got %d)", r.Point, set)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("fault: rule at %s has probability %v outside [0,1]", r.Point, r.Prob)
+	}
+	if r.Act == ActShort && r.Bytes < 0 {
+		return fmt.Errorf("fault: rule at %s has negative short-write length", r.Point)
+	}
+	if r.Act == ActDelay && r.Delay <= 0 {
+		return fmt.Errorf("fault: delay rule at %s needs a positive duration", r.Point)
+	}
+	return nil
+}
+
+// Outcome is Eval's verdict for one operation at one point.
+type Outcome struct {
+	// Err, when non-nil, is the injected failure the operation must
+	// return (after honouring Short/Drop below).
+	Err error
+	// Short is the number of bytes to let through before failing;
+	// -1 means "none / not a short write".
+	Short int
+	// Sleep is an injected latency to serve before proceeding (the
+	// operation itself then succeeds; Err is nil).
+	Sleep time.Duration
+	// Drop tells connection wrappers to sever the transport.
+	Drop bool
+}
+
+type armedRule struct {
+	Rule
+	fires uint64
+}
+
+// Registry holds the armed rules plus per-point call/byte counters.
+// Safe for concurrent use; a nil *Registry is a valid no-op.
+type Registry struct {
+	mu    sync.Mutex
+	rng   *prng.SplitMix64
+	rules []*armedRule
+	calls map[string]uint64
+	bytes map[string]uint64
+	fired map[string]uint64
+}
+
+// New returns an empty registry whose probabilistic triggers draw
+// from a SplitMix64 stream seeded with seed.
+func New(seed uint64) *Registry {
+	return &Registry{
+		rng:   prng.NewSplitMix64(seed),
+		calls: make(map[string]uint64),
+		bytes: make(map[string]uint64),
+		fired: make(map[string]uint64),
+	}
+}
+
+// Add arms a rule. Rules are evaluated in insertion order.
+func (g *Registry) Add(r Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.rules = append(g.rules, &armedRule{Rule: r})
+	g.mu.Unlock()
+	return nil
+}
+
+// MustAdd is Add for hand-built test schedules; it panics on an
+// invalid rule.
+func (g *Registry) MustAdd(r Rule) {
+	if err := g.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Eval records one n-byte operation at point and returns the verdict.
+// A nil registry (or no matching armed rule) allows the operation:
+// the zero Outcome with Short == -1.
+func (g *Registry) Eval(point string, n int) Outcome {
+	out := Outcome{Short: -1}
+	if g == nil {
+		return out
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.calls[point]++
+	call := g.calls[point]
+	if n > 0 {
+		g.bytes[point] += uint64(n)
+	}
+	for _, r := range g.rules {
+		if r.Point != point || !g.triggers(r, call, g.bytes[point]) {
+			continue
+		}
+		r.fires++
+		g.fired[point]++
+		switch r.Act {
+		case ActError:
+			out.Err = &Error{Point: point, Call: call}
+		case ActShort:
+			out.Err = &Error{Point: point, Call: call}
+			out.Short = r.Bytes
+		case ActDelay:
+			out.Sleep = r.Delay
+		case ActDrop:
+			out.Err = &Error{Point: point, Call: call}
+			out.Drop = true
+		}
+		return out
+	}
+	return out
+}
+
+func (g *Registry) triggers(r *armedRule, call, bytes uint64) bool {
+	if r.Nth > 0 {
+		return call == r.Nth && r.fires == 0
+	}
+	if r.Count > 0 && r.fires >= r.Count {
+		return false
+	}
+	switch {
+	case r.Every > 0:
+		return call%r.Every == 0
+	case r.Prob > 0:
+		// 53 bits of the stream → uniform float64 in [0,1).
+		return float64(g.rng.Uint64()>>11)/(1<<53) < r.Prob
+	case r.After > 0:
+		return bytes >= r.After
+	case r.Always:
+		return true
+	}
+	return false
+}
+
+// Fired returns a copy of the per-point fire counts — the soak driver
+// logs these, and tests assert a schedule actually went off.
+func (g *Registry) Fired() map[string]uint64 {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]uint64, len(g.fired))
+	for k, v := range g.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the fire counts in point order, for logs.
+func (g *Registry) String() string {
+	fired := g.Fired()
+	if len(fired) == 0 {
+		return "no faults fired"
+	}
+	points := make([]string, 0, len(fired))
+	for p := range fired {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	var b strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", p, fired[p])
+	}
+	return b.String()
+}
+
+// Parse builds a registry from a comma-separated schedule, the form
+// the -faults flag takes:
+//
+//	point:trigger:action[:count=K][,point:trigger:action...]
+//
+// trigger := nth=N | every=N | prob=F | after=N | always
+// action  := error | short[=B] | delay=DUR | drop
+//
+// Example: "wal.fsync:nth=3:error,conn.write:prob=0.01:drop".
+func Parse(seed uint64, spec string) (*Registry, error) {
+	g := New(seed)
+	if strings.TrimSpace(spec) == "" {
+		return g, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		r, err := parseRule(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	var r Rule
+	fields := strings.Split(s, ":")
+	if len(fields) < 3 || len(fields) > 4 {
+		return r, fmt.Errorf("fault: rule %q is not point:trigger:action[:count=K]", s)
+	}
+	r.Point = fields[0]
+
+	trig := fields[1]
+	switch {
+	case trig == "always":
+		r.Always = true
+	case strings.HasPrefix(trig, "nth="):
+		n, err := strconv.ParseUint(trig[len("nth="):], 10, 64)
+		if err != nil || n == 0 {
+			return r, fmt.Errorf("fault: bad trigger %q in %q", trig, s)
+		}
+		r.Nth = n
+	case strings.HasPrefix(trig, "every="):
+		n, err := strconv.ParseUint(trig[len("every="):], 10, 64)
+		if err != nil || n == 0 {
+			return r, fmt.Errorf("fault: bad trigger %q in %q", trig, s)
+		}
+		r.Every = n
+	case strings.HasPrefix(trig, "prob="):
+		p, err := strconv.ParseFloat(trig[len("prob="):], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return r, fmt.Errorf("fault: bad trigger %q in %q", trig, s)
+		}
+		r.Prob = p
+	case strings.HasPrefix(trig, "after="):
+		n, err := strconv.ParseUint(trig[len("after="):], 10, 64)
+		if err != nil || n == 0 {
+			return r, fmt.Errorf("fault: bad trigger %q in %q", trig, s)
+		}
+		r.After = n
+	default:
+		return r, fmt.Errorf("fault: unknown trigger %q in %q", trig, s)
+	}
+
+	act := fields[2]
+	switch {
+	case act == "error":
+		r.Act = ActError
+	case act == "drop":
+		r.Act = ActDrop
+	case act == "short":
+		r.Act = ActShort
+	case strings.HasPrefix(act, "short="):
+		b, err := strconv.Atoi(act[len("short="):])
+		if err != nil || b < 0 {
+			return r, fmt.Errorf("fault: bad action %q in %q", act, s)
+		}
+		r.Act, r.Bytes = ActShort, b
+	case strings.HasPrefix(act, "delay="):
+		d, err := time.ParseDuration(act[len("delay="):])
+		if err != nil || d <= 0 {
+			return r, fmt.Errorf("fault: bad action %q in %q", act, s)
+		}
+		r.Act, r.Delay = ActDelay, d
+	default:
+		return r, fmt.Errorf("fault: unknown action %q in %q", act, s)
+	}
+
+	if len(fields) == 4 {
+		c, ok := strings.CutPrefix(fields[3], "count=")
+		if !ok {
+			return r, fmt.Errorf("fault: trailing field %q in %q is not count=K", fields[3], s)
+		}
+		n, err := strconv.ParseUint(c, 10, 64)
+		if err != nil || n == 0 {
+			return r, fmt.Errorf("fault: bad count %q in %q", fields[3], s)
+		}
+		r.Count = n
+	}
+	return r, nil
+}

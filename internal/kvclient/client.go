@@ -26,9 +26,59 @@ import (
 	"repro/internal/shardedkv"
 )
 
-// ErrClosed is returned by calls made after Close (or after the
-// connection failed).
+// ErrClosed is returned by calls made after an explicit Close. It is
+// NOT retryable: the caller asked for the teardown. A connection that
+// failed underneath the client instead poisons it with a
+// *RetryableError carrying the transport cause.
 var ErrClosed = errors.New("kvclient: client closed")
+
+// RetryableError marks a transport-level failure — broken or timed-out
+// connection, torn response frame — after which the request's outcome
+// is unknown and a fresh connection is worth trying. The write may or
+// may not have been applied; callers retrying non-idempotent work own
+// that ambiguity (this protocol's writes are last-writer-wins, so a
+// duplicate apply is harmless).
+type RetryableError struct{ Err error }
+
+func (e *RetryableError) Error() string { return "kvclient: retryable: " + e.Err.Error() }
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// IsRetryable reports whether err is worth retrying, possibly on a new
+// connection: any transport failure (*RetryableError, including
+// per-request timeouts) and the server statuses that promise the
+// request was not applied or will succeed later — admission shedding,
+// a degraded store (StatusErrUnavailable), a draining server. ErrClosed
+// and hard protocol errors (malformed, too large) are not retryable.
+func IsRetryable(err error) bool {
+	var re *RetryableError
+	if errors.As(err, &re) {
+		return true
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case kvserver.StatusErrAdmission, kvserver.StatusErrUnavailable, kvserver.StatusErrShutdown:
+			return true
+		}
+		return false
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Options tunes a Client beyond the address.
+type Options struct {
+	// RequestTimeout bounds each round trip (write deadline on the
+	// send, response wait on the receive). A request that times out
+	// fails with a *RetryableError and tears the connection down — on
+	// a pipelined connection a stuck response stalls everything behind
+	// it, so the conn is not worth keeping. 0 means no deadline.
+	RequestTimeout time.Duration
+	// WrapConn interposes on the dialed connection before any bytes
+	// move — the seam the chaos harness uses to inject read/write
+	// faults (internal/fault.WrapConn). nil means identity.
+	WrapConn func(net.Conn) net.Conn
+}
 
 // StatusError is a non-OK response status from the server.
 type StatusError struct {
@@ -62,6 +112,8 @@ type result struct {
 // Client is a multiplexed connection to one kvserver. Safe for
 // concurrent use; create with Dial, release with Close.
 type Client struct {
+	timeout time.Duration
+
 	mu      sync.Mutex // guards conn writes, nextID, pending, closed
 	conn    net.Conn
 	bw      *bufio.Writer
@@ -76,16 +128,23 @@ type Client struct {
 
 // Dial connects to a kvserver at addr and performs the protocol
 // handshake.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string) (*Client, error) { return DialOpts(addr, Options{}) }
+
+// DialOpts is Dial with Options.
+func DialOpts(addr string, opts Options) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if opts.WrapConn != nil {
+		conn = opts.WrapConn(conn)
 	}
 	if _, err := conn.Write([]byte(kvserver.Magic)); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	c := &Client{
+		timeout: opts.RequestTimeout,
 		conn:    conn,
 		bw:      bufio.NewWriterSize(conn, 64<<10),
 		pending: make(map[uint64]*pending),
@@ -98,9 +157,14 @@ func Dial(addr string) (*Client, error) {
 // DialRetry dials addr, retrying on connection refusal until timeout —
 // for harnesses that race a just-started server.
 func DialRetry(addr string, timeout time.Duration) (*Client, error) {
+	return DialRetryOpts(addr, timeout, Options{})
+}
+
+// DialRetryOpts is DialRetry with Options.
+func DialRetryOpts(addr string, timeout time.Duration, opts Options) (*Client, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		c, err := Dial(addr)
+		c, err := DialOpts(addr, opts)
 		if err == nil {
 			return c, nil
 		}
@@ -133,6 +197,25 @@ func (c *Client) failAllLocked(err error) {
 	}
 }
 
+// teardown poisons the client after a transport failure: every pending
+// call — and every future call — fails with a *RetryableError carrying
+// cause. No call is ever stranded: a pending slot either gets its
+// response from readLoop or a failure token here, never neither.
+// Idempotent; an explicit Close that got there first wins (ErrClosed).
+func (c *Client) teardown(cause error) {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.readErr = &RetryableError{Err: cause}
+		c.conn.Close()
+	}
+	if c.readErr == nil {
+		c.readErr = ErrClosed
+	}
+	c.failAllLocked(c.readErr)
+	c.mu.Unlock()
+}
+
 // readLoop is the response matcher: it owns the read side, pairing
 // response frames to pending calls by id. Each frame is read into a
 // fresh buffer whose ownership passes to the completed call.
@@ -141,19 +224,17 @@ func (c *Client) readLoop() {
 	for {
 		frame, err := kvserver.ReadFrame(br, nil)
 		if err != nil {
-			c.mu.Lock()
-			if !c.closed {
-				c.closed = true
-				c.readErr = err
-				c.conn.Close()
-			}
-			c.failAllLocked(c.readErr)
-			c.mu.Unlock()
+			c.teardown(err)
 			return
 		}
 		resp, err := kvserver.DecodeResponse(frame)
 		if err != nil {
-			continue // unmatchable frame; the call times out with the conn
+			// The stream's framing survived but the payload did not:
+			// the connection is desynchronized beyond this response's
+			// caller alone. Fail everything rather than strand the one
+			// call whose frame was mangled.
+			c.teardown(err)
+			return
 		}
 		c.mu.Lock()
 		p := c.pending[resp.ID]
@@ -188,6 +269,12 @@ func (c *Client) roundTrip(req *kvserver.Request) (kvserver.Response, error) {
 	}
 	c.wbuf = buf
 	c.pending[req.ID] = p
+	if c.timeout > 0 {
+		// Bound the send too: bw.Flush runs under c.mu, so an unbounded
+		// block here (peer stopped reading, send buffer full) would
+		// freeze every other caller, not just this one.
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
 	_, werr := c.bw.Write(buf)
 	if werr == nil {
 		// Flush before releasing the lock: correct pipelining would
@@ -196,20 +283,45 @@ func (c *Client) roundTrip(req *kvserver.Request) (kvserver.Response, error) {
 		// overlap request and response on the wire.
 		werr = c.bw.Flush()
 	}
+	c.mu.Unlock()
 	if werr != nil {
-		// If the response somehow raced in before the write error
-		// surfaced (partial flush), the slot is already unregistered
-		// and carries a token — fall through and consume it.
-		if _, registered := c.pending[req.ID]; registered {
-			delete(c.pending, req.ID)
+		// A write error poisons the whole connection, not just this
+		// call: the bufio stream may have emitted a partial frame, so
+		// anything written after it would be garbage to the server.
+		// teardown delivers exactly one failure token to every pending
+		// slot still registered — including ours, unless the response
+		// raced in first — so the receive below never blocks.
+		c.teardown(werr)
+	}
+
+	var res result
+	if c.timeout <= 0 {
+		res = <-p.ch
+	} else {
+		timer := time.NewTimer(c.timeout)
+		select {
+		case res = <-p.ch:
+			timer.Stop()
+		case <-timer.C:
+			c.mu.Lock()
+			if _, registered := c.pending[req.ID]; registered {
+				// Still ours: unregister so no late response or
+				// teardown can deliver a token, then abandon the conn —
+				// pipelined responses behind the stuck one are stuck
+				// too, and a retry on this conn would queue behind them.
+				delete(c.pending, req.ID)
+				c.mu.Unlock()
+				c.pool.Put(p)
+				err := &RetryableError{Err: fmt.Errorf("kvclient: request timed out after %v", c.timeout)}
+				c.teardown(err.Err)
+				return kvserver.Response{}, err
+			}
+			// Photo finish: a deliverer already unregistered the slot,
+			// so its token is on the channel (or about to be).
 			c.mu.Unlock()
-			c.pool.Put(p)
-			return kvserver.Response{}, werr
+			res = <-p.ch
 		}
 	}
-	c.mu.Unlock()
-
-	res := <-p.ch
 	c.pool.Put(p)
 	if res.err != nil {
 		return kvserver.Response{}, res.err

@@ -1,34 +1,62 @@
-package shardedkv
+// Package kvmodel is the shared model-equivalence harness for every
+// shardedkv.KV front end: the plain Store, the combining AsyncStore, a
+// classed view, a durable store mid-checkpoint — and, through the
+// kvsoak chaos driver, a whole server across kill -9 restarts. Each
+// harness worker owns a private key stripe (key = (i%128)*workers+wi)
+// and mirrors every operation on a private map; with no cross-worker
+// key sharing, every return value is exactly predictable no matter
+// what splits, combiners, checkpoints, or crashes happen underneath.
+//
+// The package lives outside shardedkv's test files so that external
+// consumers (package shardedkv_test, the soak binary's future unit
+// tests) can drive the same workload; it deliberately depends only on
+// the public KV surface.
+package kvmodel
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sync"
-	"testing"
 
 	"repro/internal/core"
 	"repro/internal/prng"
+	"repro/internal/shardedkv"
 )
 
-// This file is the shared model-equivalence harness: it drives any
-// shardedkv.KV implementation — the plain Store, the combining
-// AsyncStore, a classed view, a durable store mid-checkpoint — with
-// the disjoint-stripe workload the split/linearizability tests use,
-// so every front end is checked against the same sequential model.
-// Each worker owns a private key stripe (key = (i%128)*workers + wi)
-// and mirrors every operation on a private map; with no cross-worker
-// key sharing, every return value is exactly predictable no matter
-// what splits, combiners, or checkpoints do underneath.
+// TB is the checking hook — *testing.T satisfies it, and a non-test
+// harness can adapt its own failure sink.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
 
-// driveKVModel stresses kv with `workers` concurrent goroutines
-// (alternating big/little class) for opsPer ops each, checking every
-// return value against the per-worker model as it goes. ff, when
-// non-nil, is the fire-and-forget write path (AsyncStore.PutAsync):
-// that case submits then immediately Gets the same key, pinning the
-// per-worker read-your-write FIFO contract. With ff nil the case runs
-// an ordered full-stripe Range instead. Returns the union of the
-// workers' final models — the store's expected live contents over
-// [0, 128*workers).
-func driveKVModel(t *testing.T, kv KV, ff func(w *core.Worker, k uint64, v []byte), workers, opsPer int) map[uint64][]byte {
+// VerValue encodes (key, version) so a read can be matched to the
+// exact write that produced it.
+func VerValue(k, ver uint64) []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], k)
+	binary.LittleEndian.PutUint64(b[8:], ver)
+	return b[:]
+}
+
+// DecodeVerValue is VerValue's inverse; ok is false when v was not
+// produced by VerValue for key k.
+func DecodeVerValue(k uint64, v []byte) (ver uint64, ok bool) {
+	if len(v) != 16 || binary.LittleEndian.Uint64(v[:8]) != k {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v[8:]), true
+}
+
+// Drive stresses kv with `workers` concurrent goroutines (alternating
+// big/little class) for opsPer ops each, checking every return value
+// against the per-worker model as it goes. ff, when non-nil, is the
+// fire-and-forget write path (AsyncStore.PutAsync): that case submits
+// then immediately Gets the same key, pinning the per-worker
+// read-your-write FIFO contract. With ff nil the case runs an ordered
+// full-stripe Range instead. Returns the union of the workers' final
+// models — the store's expected live contents over [0, 128*workers).
+func Drive(t TB, kv shardedkv.KV, ff func(w *core.Worker, k uint64, v []byte), workers, opsPer int) map[uint64][]byte {
 	t.Helper()
 	final := make(map[uint64][]byte)
 	var finalMu sync.Mutex
@@ -51,8 +79,9 @@ func driveKVModel(t *testing.T, kv KV, ff func(w *core.Worker, k uint64, v []byt
 				switch rng.Uint64() % 8 {
 				case 0, 1, 2:
 					ver++
-					v := verValue(k, ver)
-					if ins, had := kv.Put(w, k, v), model[k] != nil; ins == had {
+					v := VerValue(k, ver)
+					ins, _ := kv.Put(w, k, v)
+					if had := model[k] != nil; ins == had {
 						t.Errorf("worker %d: Put(%d) inserted=%v, model had=%v", wi, k, ins, had)
 					}
 					model[k] = v
@@ -63,7 +92,8 @@ func driveKVModel(t *testing.T, kv KV, ff func(w *core.Worker, k uint64, v []byt
 						t.Errorf("worker %d: Get(%d) = %x,%v; model %x", wi, k, v, ok, mv)
 					}
 				case 4:
-					if present, had := kv.Delete(w, k), model[k] != nil; present != had {
+					present, _ := kv.Delete(w, k)
+					if had := model[k] != nil; present != had {
 						t.Errorf("worker %d: Delete(%d) present=%v, model had=%v", wi, k, present, had)
 					}
 					delete(model, k)
@@ -71,20 +101,20 @@ func driveKVModel(t *testing.T, kv KV, ff func(w *core.Worker, k uint64, v []byt
 					// Batched puts over distinct owned keys.
 					n := int(rng.Uint64()%5) + 2
 					base := rng.Uint64()
-					kvs := make([]Pair, n)
+					kvs := make([]shardedkv.Pair, n)
 					wantIns := 0
 					seen := map[uint64]bool{}
 					for j := range kvs {
 						bk := own(base + uint64(j))
 						ver++
-						kvs[j] = Pair{Key: bk, Value: verValue(bk, ver)}
+						kvs[j] = shardedkv.Pair{Key: bk, Value: VerValue(bk, ver)}
 						if model[bk] == nil && !seen[bk] {
 							wantIns++
 						}
 						seen[bk] = true
 						model[bk] = kvs[j].Value
 					}
-					if got := kv.MultiPut(w, kvs); got != wantIns {
+					if got, _ := kv.MultiPut(w, kvs); got != wantIns {
 						t.Errorf("worker %d: MultiPut inserted %d, model wants %d", wi, got, wantIns)
 					}
 				case 6:
@@ -107,7 +137,7 @@ func driveKVModel(t *testing.T, kv KV, ff func(w *core.Worker, k uint64, v []byt
 						// waited Get on the same shard FIFO: the ring
 						// preserves this worker's order.
 						ver++
-						v := verValue(k, ver)
+						v := VerValue(k, ver)
 						ff(w, k, v)
 						model[k] = v
 						got, ok := kv.Get(w, k)
@@ -148,12 +178,12 @@ func driveKVModel(t *testing.T, kv KV, ff func(w *core.Worker, k uint64, v []byt
 	return final
 }
 
-// verifyKVModel sweeps the harness's whole key range on kv and demands
-// it matches the merged model exactly — present keys with the right
+// Verify sweeps the harness's whole key range on kv and demands it
+// matches the merged model exactly — present keys with the right
 // value, deleted/never-written keys absent. This is the recovery
 // check: a replayed store must answer exactly as the store that took
 // the workload did.
-func verifyKVModel(t *testing.T, kv KV, workers int, final map[uint64][]byte) {
+func Verify(t TB, kv shardedkv.KV, workers int, final map[uint64][]byte) {
 	t.Helper()
 	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
 	for k := uint64(0); k < 128*uint64(workers); k++ {

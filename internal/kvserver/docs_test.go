@@ -29,22 +29,23 @@ func TestProtocolDocMatchesCode(t *testing.T) {
 		return fmt.Sprintf("| `%s` | `0x%02x` |", name, val)
 	}
 	wantRows := map[string]uint8{
-		"OpGet":              OpGet,
-		"OpPut":              OpPut,
-		"OpDelete":           OpDelete,
-		"OpMultiGet":         OpMultiGet,
-		"OpMultiPut":         OpMultiPut,
-		"OpRange":            OpRange,
-		"OpFlush":            OpFlush,
-		"OpStats":            OpStats,
-		"ClassInteractive":   ClassInteractive,
-		"ClassBulk":          ClassBulk,
-		"StatusOK":           StatusOK,
-		"StatusErrMalformed": StatusErrMalformed,
-		"StatusErrUnknownOp": StatusErrUnknownOp,
-		"StatusErrAdmission": StatusErrAdmission,
-		"StatusErrTooLarge":  StatusErrTooLarge,
-		"StatusErrShutdown":  StatusErrShutdown,
+		"OpGet":                OpGet,
+		"OpPut":                OpPut,
+		"OpDelete":             OpDelete,
+		"OpMultiGet":           OpMultiGet,
+		"OpMultiPut":           OpMultiPut,
+		"OpRange":              OpRange,
+		"OpFlush":              OpFlush,
+		"OpStats":              OpStats,
+		"ClassInteractive":     ClassInteractive,
+		"ClassBulk":            ClassBulk,
+		"StatusOK":             StatusOK,
+		"StatusErrMalformed":   StatusErrMalformed,
+		"StatusErrUnknownOp":   StatusErrUnknownOp,
+		"StatusErrAdmission":   StatusErrAdmission,
+		"StatusErrTooLarge":    StatusErrTooLarge,
+		"StatusErrShutdown":    StatusErrShutdown,
+		"StatusErrUnavailable": StatusErrUnavailable,
 	}
 	for name, val := range wantRows {
 		if !strings.Contains(doc, row(name, val)) {
@@ -91,6 +92,11 @@ func TestArchitectureDocCoversServingPath(t *testing.T) {
 		"Durability", "internal/wal", "group commit", "ops_per_fsync",
 		"CURRENT", "shardedkv.KV", "Snapshotter", "Compactor",
 		"SyncWait", "SyncAsync", "wal-smoke", "kvcheck",
+		// The fault/degraded layer and its load-bearing names.
+		"Fault handling & degraded mode", "internal/fault",
+		"wal.FaultFS", "ErrInjected", "DegradedError", "IsDegraded",
+		"StatusErrUnavailable", "IsRetryable", "kvsoak", "make soak",
+		"statustext",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md does not mention %q", want)
@@ -106,6 +112,22 @@ func TestProtocolDocCoversSyncPolicy(t *testing.T) {
 	for _, want := range []string{
 		"Sync policy", "-wal", "group commit", "durability promise",
 		"OpFlush", "durable",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/protocol.md does not mention %q", want)
+		}
+	}
+}
+
+// TestProtocolDocCoversDegradedMode pins the degraded-mode contract:
+// the spec must state that a failed durability promise maps to
+// StatusErrUnavailable, that reads keep serving, and that the status
+// is retryable by contract.
+func TestProtocolDocCoversDegradedMode(t *testing.T) {
+	doc := repoFile(t, "docs/protocol.md")
+	for _, want := range []string{
+		"Degraded mode", "StatusErrUnavailable", "read-only",
+		"reads keep serving", "retryable", "IsRetryable",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("docs/protocol.md does not mention %q", want)

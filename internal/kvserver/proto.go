@@ -88,16 +88,22 @@ const (
 	StatusErrAdmission uint8 = 0x03
 	StatusErrTooLarge  uint8 = 0x04
 	StatusErrShutdown  uint8 = 0x05
+	// StatusErrUnavailable: the store refused the write's durability
+	// promise (a shard is degraded after a log failure). Reads keep
+	// serving; the write was NOT durably acked and is safe to retry
+	// against a recovered server.
+	StatusErrUnavailable uint8 = 0x06
 )
 
 // statusText names every status for errors and logs.
 var statusText = map[uint8]string{
-	StatusOK:           "ok",
-	StatusErrMalformed: "malformed request",
-	StatusErrUnknownOp: "unknown opcode",
-	StatusErrAdmission: "bulk admission rejected",
-	StatusErrTooLarge:  "frame too large",
-	StatusErrShutdown:  "server shutting down",
+	StatusOK:             "ok",
+	StatusErrMalformed:   "malformed request",
+	StatusErrUnknownOp:   "unknown opcode",
+	StatusErrAdmission:   "bulk admission rejected",
+	StatusErrTooLarge:    "frame too large",
+	StatusErrShutdown:    "server shutting down",
+	StatusErrUnavailable: "store degraded",
 }
 
 // StatusText returns the name of a status code.

@@ -321,6 +321,7 @@ func (s *Server) execute(w *core.Worker, sc *serverConn, req *Request, out []byt
 	start := w.Now()
 
 	var encErr error
+	var kvErr error
 	ops := uint64(1)
 	switch req.Op {
 	case OpGet:
@@ -331,11 +332,19 @@ func (s *Server) execute(w *core.Worker, sc *serverConn, req *Request, out []byt
 		// which the next ReadFrame reuses; the store retains values by
 		// reference, so copy before storing.
 		v := append([]byte(nil), req.Value...)
-		ok := s.kv.Put(w, req.Key, v)
-		out, encErr = AppendBoolResponse(out, req.ID, ok)
+		ok, werr := s.kv.Put(w, req.Key, v)
+		if werr != nil {
+			kvErr = werr
+		} else {
+			out, encErr = AppendBoolResponse(out, req.ID, ok)
+		}
 	case OpDelete:
-		ok := s.kv.Delete(w, req.Key)
-		out, encErr = AppendBoolResponse(out, req.ID, ok)
+		ok, werr := s.kv.Delete(w, req.Key)
+		if werr != nil {
+			kvErr = werr
+		} else {
+			out, encErr = AppendBoolResponse(out, req.ID, ok)
+		}
 	case OpMultiGet:
 		vals, found := s.kv.MultiGet(w, req.Keys)
 		ops = uint64(len(req.Keys))
@@ -345,9 +354,13 @@ func (s *Server) execute(w *core.Worker, sc *serverConn, req *Request, out []byt
 		for i, kv := range req.KVs {
 			kvs[i] = shardedkv.Pair{Key: kv.Key, Value: append([]byte(nil), kv.Value...)}
 		}
-		inserted := s.kv.MultiPut(w, kvs)
+		inserted, werr := s.kv.MultiPut(w, kvs)
 		ops = uint64(len(kvs))
-		out, encErr = AppendMultiPutResponse(out, req.ID, inserted)
+		if werr != nil {
+			kvErr = werr
+		} else {
+			out, encErr = AppendMultiPutResponse(out, req.ID, inserted)
+		}
 	case OpRange:
 		limit := int(req.Limit)
 		if limit <= 0 || limit > MaxRangePairs {
@@ -373,8 +386,13 @@ func (s *Server) execute(w *core.Worker, sc *serverConn, req *Request, out []byt
 		// KV.Flush is the write AND durability barrier: on the async
 		// front end it drains the rings first; on either front end it
 		// group-commits every shard log when durability is configured.
-		s.kv.Flush(w)
-		out, encErr = AppendEmptyResponse(out, req.ID)
+		// A sync failure here is how fire-and-forget (bulk) write
+		// errors reach the wire.
+		if ferr := s.kv.Flush(w); ferr != nil {
+			kvErr = ferr
+		} else {
+			out, encErr = AppendEmptyResponse(out, req.ID)
+		}
 	default:
 		if epoch >= 0 {
 			w.EpochEnd(epoch, slo)
@@ -389,6 +407,13 @@ func (s *Server) execute(w *core.Worker, sc *serverConn, req *Request, out []byt
 		w.EpochEnd(epoch, slo)
 	}
 	w.ClearClassHint()
+	if kvErr != nil {
+		// The store refused the write's durability promise (a degraded
+		// shard). Reads keep serving; the client sees a retryable
+		// StatusErrUnavailable, never a false ack.
+		s.errs[lc].Add(1)
+		return AppendErrorResponse(out, req.ID, StatusErrUnavailable, kvErr.Error())
+	}
 	if encErr != nil {
 		// The response was too large to frame (a Range at the caps can
 		// exceed MaxFrame). Report in-stream; the request itself

@@ -1,0 +1,72 @@
+package kvserver_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kvclient"
+	"repro/internal/kvserver"
+	"repro/internal/shardedkv"
+	"repro/internal/wal"
+)
+
+// TestDegradedStoreMapsToUnavailable is the end-to-end degraded-mode
+// check: an injected WAL fsync failure under a live server must turn
+// writes into StatusErrUnavailable on the wire — retryable, typed —
+// while reads on the same connection keep answering. The server must
+// not wedge or close the connection.
+func TestDegradedStoreMapsToUnavailable(t *testing.T) {
+	reg := fault.New(1)
+	reg.MustAdd(fault.Rule{Point: "wal.fsync", Nth: 1, Act: fault.ActError})
+	scfg := shardedkv.Config{
+		Shards: 1, // one shard: the first failed commit degrades all writes
+		Durability: &shardedkv.DurabilityConfig{
+			Dir:         t.TempDir(),
+			Interactive: shardedkv.SyncWait,
+			Bulk:        shardedkv.SyncWait,
+			FS:          wal.FaultFS{Reg: reg},
+		},
+	}
+	_, addr := startServer(t, scfg, nil)
+	cl := dial(t, addr)
+
+	// The rigged first fsync fails this write's group commit.
+	_, err := cl.Put(kvserver.ClassInteractive, 1, []byte("doomed"))
+	var se *kvclient.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("Put on degraded store: want *StatusError, got %v", err)
+	}
+	if se.Status != kvserver.StatusErrUnavailable {
+		t.Fatalf("Put status = %s, want StatusErrUnavailable", kvserver.StatusText(se.Status))
+	}
+	if !kvclient.IsRetryable(err) {
+		t.Fatalf("StatusErrUnavailable must be retryable: %v", err)
+	}
+
+	// Writes stay refused (the flip is sticky)...
+	if _, err := cl.Put(kvserver.ClassBulk, 2, []byte("also doomed")); !errors.As(err, &se) ||
+		se.Status != kvserver.StatusErrUnavailable {
+		t.Fatalf("second Put = %v, want StatusErrUnavailable again", err)
+	}
+	if err := cl.Flush(kvserver.ClassInteractive); !errors.As(err, &se) ||
+		se.Status != kvserver.StatusErrUnavailable {
+		t.Fatalf("Flush = %v, want StatusErrUnavailable", err)
+	}
+
+	// ...but the same connection still serves reads: no false durability
+	// claim for key 1 — it must read as absent or as the unacked value,
+	// and the read itself must succeed at the protocol level.
+	if _, _, err := cl.Get(kvserver.ClassInteractive, 1); err != nil {
+		t.Fatalf("Get on degraded store must keep serving, got %v", err)
+	}
+	if _, _, err := cl.MultiGet(kvserver.ClassInteractive, []uint64{1, 2, 3}); err != nil {
+		t.Fatalf("MultiGet on degraded store must keep serving, got %v", err)
+	}
+	if _, _, err := cl.Range(kvserver.ClassInteractive, 0, 100, 0); err != nil {
+		t.Fatalf("Range on degraded store must keep serving, got %v", err)
+	}
+	if _, err := cl.Stats(); err != nil {
+		t.Fatalf("Stats on degraded store must keep serving, got %v", err)
+	}
+}

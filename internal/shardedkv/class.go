@@ -68,19 +68,19 @@ func (v ClassedStore) Get(w *core.Worker, k uint64) ([]byte, bool) {
 }
 
 // Put stores k=v as the view's class; reports insert-vs-replace.
-func (v ClassedStore) Put(w *core.Worker, k uint64, val []byte) bool {
+func (v ClassedStore) Put(w *core.Worker, k uint64, val []byte) (bool, error) {
 	sc := enterClass(w, v.c)
-	ok := v.s.Put(w, k, val)
+	ok, err := v.s.Put(w, k, val)
 	sc.restore()
-	return ok
+	return ok, err
 }
 
 // Delete removes k as the view's class; reports presence.
-func (v ClassedStore) Delete(w *core.Worker, k uint64) bool {
+func (v ClassedStore) Delete(w *core.Worker, k uint64) (bool, error) {
 	sc := enterClass(w, v.c)
-	ok := v.s.Delete(w, k)
+	ok, err := v.s.Delete(w, k)
 	sc.restore()
-	return ok
+	return ok, err
 }
 
 // MultiGet reads all keys as the view's class.
@@ -92,11 +92,11 @@ func (v ClassedStore) MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool)
 }
 
 // MultiPut writes all pairs as the view's class.
-func (v ClassedStore) MultiPut(w *core.Worker, kvs []Pair) int {
+func (v ClassedStore) MultiPut(w *core.Worker, kvs []Pair) (int, error) {
 	sc := enterClass(w, v.c)
-	n := v.s.MultiPut(w, kvs)
+	n, err := v.s.MultiPut(w, kvs)
 	sc.restore()
-	return n
+	return n, err
 }
 
 // Range scans [lo, hi] as the view's class. fn runs inside the scope
@@ -116,10 +116,11 @@ func (v ClassedStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair {
 }
 
 // Flush drives the durability barrier as the view's class.
-func (v ClassedStore) Flush(w *core.Worker) {
+func (v ClassedStore) Flush(w *core.Worker) error {
 	sc := enterClass(w, v.c)
-	v.s.Flush(w)
+	err := v.s.Flush(w)
 	sc.restore()
+	return err
 }
 
 // Close shuts the shared underlying store down (see Store.Close).
@@ -161,19 +162,19 @@ func (v ClassedAsync) Get(w *core.Worker, k uint64) ([]byte, bool) {
 }
 
 // Put stores k=v through the pipeline as the view's class.
-func (v ClassedAsync) Put(w *core.Worker, k uint64, val []byte) bool {
+func (v ClassedAsync) Put(w *core.Worker, k uint64, val []byte) (bool, error) {
 	sc := enterClass(w, v.c)
-	ok := v.a.Put(w, k, val)
+	ok, err := v.a.Put(w, k, val)
 	sc.restore()
-	return ok
+	return ok, err
 }
 
 // Delete removes k through the pipeline as the view's class.
-func (v ClassedAsync) Delete(w *core.Worker, k uint64) bool {
+func (v ClassedAsync) Delete(w *core.Worker, k uint64) (bool, error) {
 	sc := enterClass(w, v.c)
-	ok := v.a.Delete(w, k)
+	ok, err := v.a.Delete(w, k)
 	sc.restore()
-	return ok
+	return ok, err
 }
 
 // PutAsync submits a fire-and-forget put as the view's class.
@@ -199,11 +200,11 @@ func (v ClassedAsync) MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool)
 }
 
 // MultiPut writes all pairs through the pipeline as the view's class.
-func (v ClassedAsync) MultiPut(w *core.Worker, kvs []Pair) int {
+func (v ClassedAsync) MultiPut(w *core.Worker, kvs []Pair) (int, error) {
 	sc := enterClass(w, v.c)
-	n := v.a.MultiPut(w, kvs)
+	n, err := v.a.MultiPut(w, kvs)
 	sc.restore()
-	return n
+	return n, err
 }
 
 // Range scans [lo, hi] through the pipeline as the view's class.
@@ -224,10 +225,11 @@ func (v ClassedAsync) MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair {
 
 // Flush drives the write barrier as the view's class (the class
 // governs the combining the flush itself performs).
-func (v ClassedAsync) Flush(w *core.Worker) {
+func (v ClassedAsync) Flush(w *core.Worker) error {
 	sc := enterClass(w, v.c)
-	v.a.Flush(w)
+	err := v.a.Flush(w)
 	sc.restore()
+	return err
 }
 
 // Close shuts the shared pipeline down (see AsyncStore.Close).

@@ -77,7 +77,7 @@ func TestCrossEngineConsistency(t *testing.T) {
 			v := value(k, ver)
 			var want bool
 			for i, st := range stores {
-				got := st.Put(w, k, v)
+				got, _ := st.Put(w, k, v)
 				if i == 0 {
 					want = got
 				} else if got != want {
@@ -100,7 +100,7 @@ func TestCrossEngineConsistency(t *testing.T) {
 		case 2: // delete
 			var want bool
 			for i, st := range stores {
-				got := st.Delete(w, k)
+				got, _ := st.Delete(w, k)
 				if i == 0 {
 					want = got
 				} else if got != want {
@@ -133,7 +133,7 @@ func TestCrossEngineConsistency(t *testing.T) {
 			}
 			var wantIns int
 			for i, st := range stores {
-				ins := st.MultiPut(w, kvs)
+				ins, _ := st.MultiPut(w, kvs)
 				if i == 0 {
 					wantIns = ins
 				} else if ins != wantIns {
@@ -337,7 +337,7 @@ func TestBatchEdgeSemantics(t *testing.T) {
 			if vals, oks := st.MultiGet(w, nil); len(vals) != 0 || len(oks) != 0 {
 				t.Fatal("empty MultiGet must return empty slices")
 			}
-			if ins := st.MultiPut(w, nil); ins != 0 {
+			if ins, _ := st.MultiPut(w, nil); ins != 0 {
 				t.Fatalf("empty MultiPut inserted %d", ins)
 			}
 			if out := st.MultiRange(w, nil); len(out) != 0 {
@@ -361,7 +361,7 @@ func TestMultiPutDuplicateKeysLastWins(t *testing.T) {
 	for _, spec := range AllEngines() {
 		st := New(Config{Shards: 4, NewEngine: spec.New})
 		w := newTestWorker()
-		ins := st.MultiPut(w, []Pair{
+		ins, _ := st.MultiPut(w, []Pair{
 			{Key: 7, Value: []byte("first")},
 			{Key: 7, Value: []byte("second")},
 		})

@@ -74,6 +74,10 @@ type DurabilityConfig struct {
 	// kvserver wire class maps to these end-to-end (class byte →
 	// ClassHint → this policy).
 	Interactive, Bulk SyncPolicy
+	// FS overrides the filesystem every shard log writes through
+	// (nil = the real one). wal.FaultFS threads fault injection in:
+	// the degraded-mode tests and cmd/kvserver's -faults flag use it.
+	FS wal.FS
 }
 
 // durability is the store-side state behind Config.Durability.
@@ -92,21 +96,29 @@ type durability struct {
 
 	// mu guards logs, the append-only list of every shard log ever
 	// opened (split-retired parents included — their files are part of
-	// the durable history until the next generation flip).
+	// the durable history until the next generation flip). Each entry
+	// keeps its owning shard so a Flush-time sync failure can degrade
+	// the right shard (degraded.go).
 	mu   sync.Mutex
-	logs []*wal.Log
+	logs []logRef
 }
 
-func (d *durability) track(lg *wal.Log) {
+// logRef pairs a shard with its log in the durability tracking list.
+type logRef struct {
+	sh *shard
+	lg *wal.Log
+}
+
+func (d *durability) track(sh *shard, lg *wal.Log) {
 	d.mu.Lock()
-	d.logs = append(d.logs, lg)
+	d.logs = append(d.logs, logRef{sh: sh, lg: lg})
 	d.mu.Unlock()
 }
 
-func (d *durability) allLogs() []*wal.Log {
+func (d *durability) allLogs() []logRef {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append(make([]*wal.Log, 0, len(d.logs)), d.logs...)
+	return append(make([]logRef, 0, len(d.logs)), d.logs...)
 }
 
 // resolveWait maps a class's configured policy to wait-or-not.
@@ -428,33 +440,43 @@ func (s *Store) Checkpoint(w *core.Worker) error {
 // Flush is the durability barrier of the plain store: it group-
 // commits every record appended so far on every shard log (live and
 // split-retired). Async-acked (bulk) writes are durable once it
-// returns. Without Config.Durability it is a no-op.
-func (s *Store) Flush(w *core.Worker) {
-	s.syncLogs()
+// returns nil. A sync failure degrades the owning shard and is
+// reported here — this is where fire-and-forget write errors surface.
+// Without Config.Durability it is a no-op.
+func (s *Store) Flush(w *core.Worker) error {
+	return s.syncLogs()
 }
 
-// syncLogs fsyncs every log ever opened. Never called under a shard
-// lock.
-func (s *Store) syncLogs() {
+// syncLogs fsyncs every log ever opened, degrading the shard behind
+// any log whose sync fails, and returns the first failure. Never
+// called under a shard lock.
+func (s *Store) syncLogs() error {
 	if s.dur == nil {
-		return
+		return nil
 	}
-	for _, lg := range s.dur.allLogs() {
-		_ = lg.Sync()
+	var first error
+	for _, ref := range s.dur.allLogs() {
+		if err := ref.lg.Sync(); err != nil {
+			de := s.degrade(ref.sh, err)
+			if first == nil {
+				first = de
+			}
+		}
 	}
+	return first
 }
 
 // Close stops the reshard loop (if running) and syncs and closes
 // every shard log; the store must be quiesced. I/O errors are sticky
-// inside the logs and surface through Checkpoint — Close itself is
-// best-effort, matching the KV interface shape.
+// inside the logs and surface through Checkpoint and Flush — Close
+// itself is best-effort, matching the KV interface shape.
 func (s *Store) Close(w *core.Worker) {
 	s.StopReshard()
 	if s.dur == nil {
 		return
 	}
-	for _, lg := range s.dur.allLogs() {
-		_ = lg.Close()
+	for _, ref := range s.dur.allLogs() {
+		_ = ref.lg.Close()
 	}
 }
 
@@ -466,21 +488,21 @@ func (s *Store) WalStats() wal.Stats {
 	if s.dur == nil {
 		return agg
 	}
-	for _, lg := range s.dur.allLogs() {
-		agg.Add(lg.Stats())
+	for _, ref := range s.dur.allLogs() {
+		agg.Add(ref.lg.Stats())
 	}
 	return agg
 }
 
-// crashDrop simulates kill -9 for the crash-point recovery tests:
-// every log drops its user-space buffers and closes without a final
-// sync. Test hook; see wal.Log.CrashDrop.
-func (s *Store) crashDrop() {
+// CrashDrop simulates kill -9 for the crash-point recovery tests and
+// the chaos harness: every log drops its user-space buffers and closes
+// without a final sync. Test hook; see wal.Log.CrashDrop.
+func (s *Store) CrashDrop() {
 	s.StopReshard()
 	if s.dur == nil {
 		return
 	}
-	for _, lg := range s.dur.allLogs() {
-		lg.CrashDrop()
+	for _, ref := range s.dur.allLogs() {
+		ref.lg.CrashDrop()
 	}
 }

@@ -5,151 +5,19 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
 	"testing"
-	"time"
 
 	"repro/internal/core"
 )
 
 // Crash-point recovery suite: every test drives a durable store (or
 // its pipeline front end), kills it at a chosen point — clean Close,
-// kill -9 via crashDrop, mid-checkpoint debris, mid-recovery debris,
+// kill -9 via CrashDrop, mid-checkpoint debris, mid-recovery debris,
 // torn or corrupt segment tails — reopens the same directory, and
 // demands the replayed store answer exactly like the sequential model
-// that watched the workload. crashDrop mirrors a process kill: the
+// that watched the workload. CrashDrop mirrors a process kill: the
 // user-space append buffers vanish, nothing gets a parting fsync, so
 // only what the group commits already pushed down survives.
-
-// durCfg builds a store config over dir with every write sync-waited,
-// so the model is exact after a crash with no Flush: each op was
-// durable before it returned.
-func durCfg(dir string, eng func(int) Engine) Config {
-	return Config{
-		Shards:    4,
-		NewEngine: eng,
-		Reshard:   manualReshard(),
-		Durability: &DurabilityConfig{
-			Dir:         dir,
-			Interactive: SyncWait,
-			Bulk:        SyncWait,
-		},
-	}
-}
-
-// TestDurableRecoveryVsModel is the headline crash check on all four
-// engines: the shared KV-model harness hammers a durable store while a
-// splitter keeps forcing splits (so children's fresh logs and retired
-// parents' logs both carry live history), then the store either closes
-// cleanly or is killed; the reopened store must match the merged model
-// key for key. Run with -race.
-func TestDurableRecoveryVsModel(t *testing.T) {
-	const workers = 4
-	opsPer := 1_500
-	if testing.Short() {
-		opsPer = 300
-	}
-	for _, spec := range AllEngines() {
-		for _, kill := range []string{"close", "crash"} {
-			t.Run(spec.Name+"/"+kill, func(t *testing.T) {
-				dir := t.TempDir()
-				st := New(durCfg(dir, spec.New))
-				stop := make(chan struct{})
-				var wg sync.WaitGroup
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					w := core.NewWorker(core.WorkerConfig{Class: core.Big})
-					for i := uint64(0); ; i++ {
-						select {
-						case <-stop:
-							return
-						default:
-						}
-						st.ForceSplit(w, i%64)
-						time.Sleep(300 * time.Microsecond)
-					}
-				}()
-				final := driveKVModel(t, st, nil, workers, opsPer)
-				close(stop)
-				wg.Wait()
-				if st.ReshardStats().Splits == 0 {
-					t.Error("no split fired; the split-vs-WAL interaction went untested")
-				}
-				w := core.NewWorker(core.WorkerConfig{Class: core.Big})
-				if kill == "close" {
-					st.Close(w)
-				} else {
-					// Every op sync-waited, so nothing in the model is
-					// allowed to be lost to the kill.
-					st.crashDrop()
-				}
-				st2 := New(durCfg(dir, spec.New))
-				verifyKVModel(t, st2, workers, final)
-				st2.Close(w)
-			})
-		}
-	}
-}
-
-// TestDurableAsyncPipelineRecovery runs the same model equivalence
-// through the combining AsyncStore — fire-and-forget writes included —
-// with splits firing mid-stress, then kills the store after a Flush
-// (the pipeline write barrier, which also group-commits every log) and
-// verifies the replayed store against the model. This is the
-// batch-append-one-fsync path of the tentpole under crash. Run with
-// -race.
-func TestDurableAsyncPipelineRecovery(t *testing.T) {
-	const workers = 4
-	opsPer := 1_000
-	if testing.Short() {
-		opsPer = 250
-	}
-	for _, spec := range AllEngines() {
-		t.Run(spec.Name, func(t *testing.T) {
-			dir := t.TempDir()
-			cfg := durCfg(dir, spec.New)
-			// Default class policies: bulk writes ack async and rely on
-			// the final Flush for durability — the crash must not lose
-			// them once Flush returned.
-			cfg.Durability.Interactive = SyncDefault
-			cfg.Durability.Bulk = SyncDefault
-			st := New(cfg)
-			a := NewAsync(st, AsyncConfig{MaxBatch: 8, RingSize: 32})
-			stop := make(chan struct{})
-			var wg sync.WaitGroup
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				w := core.NewWorker(core.WorkerConfig{Class: core.Big})
-				for i := uint64(0); ; i++ {
-					select {
-					case <-stop:
-						return
-					default:
-					}
-					st.ForceSplit(w, i%64)
-					time.Sleep(400 * time.Microsecond)
-				}
-			}()
-			final := driveKVModel(t, a, a.PutAsync, workers, opsPer)
-			close(stop)
-			wg.Wait()
-			w := core.NewWorker(core.WorkerConfig{Class: core.Big})
-			a.Flush(w)
-			ws := st.WalStats()
-			if ws.Appended == 0 || ws.Syncs == 0 {
-				t.Fatalf("pipeline ran without logging: %+v", ws)
-			}
-			t.Logf("wal: %d records / %d fsyncs = %.2f ops/fsync",
-				ws.Appended, ws.Syncs, ws.OpsPerFsync())
-			st.crashDrop()
-			st2 := New(durCfg(dir, spec.New))
-			verifyKVModel(t, st2, workers, final)
-			st2.Close(w)
-		})
-	}
-}
 
 // seqPut writes keys [0, n) at version ver and records, per shard, the
 // last key routed to it (the key whose record sits at that shard's
@@ -175,6 +43,22 @@ func newestSegment(t *testing.T, dir string) string {
 	return segs[len(segs)-1]
 }
 
+// durCfg builds a store config over dir with every write sync-waited,
+// so the model is exact after a crash with no Flush: each op was
+// durable before it returned.
+func durCfg(dir string, eng func(int) Engine) Config {
+	return Config{
+		Shards:    4,
+		NewEngine: eng,
+		Reshard:   manualReshard(),
+		Durability: &DurabilityConfig{
+			Dir:         dir,
+			Interactive: SyncWait,
+			Bulk:        SyncWait,
+		},
+	}
+}
+
 // TestDurableTornTailTruncates appends garbage past every shard's last
 // durable record — the torn tail a crash mid-write leaves — and
 // demands recovery truncate it: reopen must not error, and every
@@ -186,7 +70,7 @@ func TestDurableTornTailTruncates(t *testing.T) {
 	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
 	shards := st.smap.Load().shards
 	seqPut(st, w, n, 1, nil)
-	st.crashDrop()
+	st.CrashDrop()
 	for _, sh := range shards {
 		seg := newestSegment(t, sh.wal.Dir())
 		f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
@@ -218,7 +102,7 @@ func TestDurableCorruptChecksumTruncates(t *testing.T) {
 	w := core.NewWorker(core.WorkerConfig{Class: core.Big})
 	lastPerShard := map[*shard]uint64{}
 	seqPut(st, w, n, 1, lastPerShard)
-	st.crashDrop()
+	st.CrashDrop()
 	// Corrupt exactly one shard's tail record: the last key written to
 	// the shard that owns key 0.
 	victimShard := st.smap.Load().locate(hashOf(0))
@@ -273,7 +157,7 @@ func TestDurableCrashMidCheckpoint(t *testing.T) {
 	for k := uint64(n / 3); k < n; k++ {
 		st.Put(w, k, verValue(k, 2))
 	}
-	st.crashDrop()
+	st.CrashDrop()
 	// Debris of a second checkpoint killed before its rename.
 	tmp := filepath.Join(shards[0].wal.Dir(), "ckpt-00000000000000ff.ck.tmp")
 	if err := os.WriteFile(tmp, []byte("half-written checkpoint"), 0o644); err != nil {

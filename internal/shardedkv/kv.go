@@ -18,8 +18,14 @@ import "repro/internal/core"
 //     under durability, until logged) — callers must not reuse buffers.
 //   - Range/MultiRange results are ascending-key and per-shard
 //     consistent; fn never runs under a shard lock.
+//   - Writes return an error exactly when their durability promise
+//     failed: nil without durability configured, *DegradedError once
+//     the owning shard's log has failed (degraded.go). A non-nil
+//     error is never a durability ack, whatever the other results
+//     say; reads keep serving on a degraded shard.
 //   - Flush is the write/durability barrier: every operation submitted
 //     before it is applied, and with durability configured, fsynced.
+//     Fire-and-forget write failures surface here.
 //   - Close makes the handle (and for AsyncStore-backed handles, the
 //     pipeline) unusable; it does NOT imply the underlying engines are
 //     gone — split views share one Store, and closing one view closes
@@ -28,13 +34,13 @@ import "repro/internal/core"
 //     and the async front end report the same store-level numbers.
 type KV interface {
 	Get(w *core.Worker, k uint64) ([]byte, bool)
-	Put(w *core.Worker, k uint64, v []byte) bool
-	Delete(w *core.Worker, k uint64) bool
+	Put(w *core.Worker, k uint64, v []byte) (bool, error)
+	Delete(w *core.Worker, k uint64) (bool, error)
 	MultiGet(w *core.Worker, keys []uint64) ([][]byte, []bool)
-	MultiPut(w *core.Worker, kvs []Pair) int
+	MultiPut(w *core.Worker, kvs []Pair) (int, error)
 	Range(w *core.Worker, lo, hi uint64, fn func(k uint64, v []byte) bool)
 	MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair
-	Flush(w *core.Worker)
+	Flush(w *core.Worker) error
 	Close(w *core.Worker)
 	Stats() []ShardStats
 }

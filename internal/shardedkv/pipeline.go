@@ -106,6 +106,8 @@ type request struct {
 	parts [][]Pair // opRange: parts[i] is rng[i]'s slice of this shard
 	lg    *wal.Log // log the write was appended to (nil without durability)
 	lsn   uint64   // its LSN in lg
+	sh    *shard   // executing shard of a logged write (degrade target)
+	err   error    // write failure (degraded shard / log error)
 
 	state atomic.Uint32
 	wake  chan struct{} // buffered(1); one token per park/wake pair
@@ -474,7 +476,7 @@ func (a *AsyncStore) newReq(kind opKind) *request {
 func (a *AsyncStore) putReq(r *request) {
 	r.val, r.rval, r.rng, r.parts = nil, nil, nil, nil
 	r.rok, r.ff, r.syncWait = false, false, false
-	r.lg, r.lsn = nil, 0
+	r.lg, r.lsn, r.sh, r.err = nil, 0, nil, nil
 	a.pool.Put(r)
 }
 
@@ -504,10 +506,17 @@ func (a *AsyncStore) finishOrDefer(r *request, pend *[]*request) {
 // held back. Every shard lock must be released first: Commit fsyncs
 // (or piggybacks on the leader already doing so), and commits in pend
 // order make one call per log do the real work — later entries find
-// their LSN already durable.
-func completePending(pend []*request) {
+// their LSN already durable. A failed commit degrades the executing
+// shard and publishes the typed error on every covered future — the
+// whole held-back batch was promised the same fsync, so none of it
+// may falsely ack.
+func (s *Store) completePending(pend []*request) {
 	for _, r := range pend {
-		_ = r.lg.Commit(r.lsn)
+		if r.err == nil {
+			if err := r.lg.Commit(r.lsn); err != nil {
+				r.err = s.degrade(r.sh, err)
+			}
+		}
 		r.complete()
 	}
 }
@@ -535,20 +544,36 @@ func (a *AsyncStore) exec(w *core.Worker, sh *shard, r *request) {
 		a.st.pad(w)
 		sh.gets.Add(1)
 	case opPut:
+		if sh.wal != nil {
+			if de := sh.degraded.Load(); de != nil {
+				r.err = de
+				return
+			}
+			lsn, err := sh.wal.Append(wal.KindPut, r.key, r.val)
+			if err != nil {
+				r.err = a.st.degrade(sh, err)
+				return
+			}
+			r.lsn, r.lg, r.sh = lsn, sh.wal, sh
+		}
 		r.rok = sh.eng.Put(r.key, r.val)
 		a.st.pad(w)
-		if sh.wal != nil {
-			r.lsn, _ = sh.wal.Append(wal.KindPut, r.key, r.val)
-			r.lg = sh.wal
-		}
 		sh.puts.Add(1)
 	case opDelete:
+		if sh.wal != nil {
+			if de := sh.degraded.Load(); de != nil {
+				r.err = de
+				return
+			}
+			lsn, err := sh.wal.Append(wal.KindDelete, r.key, nil)
+			if err != nil {
+				r.err = a.st.degrade(sh, err)
+				return
+			}
+			r.lsn, r.lg, r.sh = lsn, sh.wal, sh
+		}
 		r.rok = sh.eng.Delete(r.key)
 		a.st.pad(w)
-		if sh.wal != nil {
-			r.lsn, _ = sh.wal.Append(wal.KindDelete, r.key, nil)
-			r.lg = sh.wal
-		}
 		sh.deletes.Add(1)
 	case opRange:
 		// Collect under the lock, complete the future, and let the
@@ -676,7 +701,7 @@ func (a *AsyncStore) tryCombine(w *core.Worker, q *pipeShard) bool {
 		q.noteTake(w)
 	}
 	q.sh.lock.Release(w)
-	completePending(pend)
+	a.st.completePending(pend)
 	return n > 0
 }
 
@@ -781,7 +806,7 @@ func (a *AsyncStore) execDirect(w *core.Worker, q *pipeShard, r *request) {
 	a.drain(w, lq, &pend)
 	sh.lock.Release(w)
 	a.finishOrDefer(r, &pend)
-	completePending(pend)
+	a.st.completePending(pend)
 }
 
 // await drives the waiting side of one enqueued request: spin, attempt
@@ -879,29 +904,31 @@ func (a *AsyncStore) Get(w *core.Worker, k uint64) ([]byte, bool) {
 // with Store.Put, v is retained by reference until the op executes.
 // With durability on and a sync-wait class, the call returns only
 // after the record is fsynced — riding whichever group commit the
-// executing combiner's batch leads or joins.
-func (a *AsyncStore) Put(w *core.Worker, k uint64, v []byte) bool {
+// executing combiner's batch leads or joins. A log failure surfaces
+// here as Store.Put's typed error: the executing combiner records it
+// on the future (degrading the shard) and the owner reads it back.
+func (a *AsyncStore) Put(w *core.Worker, k uint64, v []byte) (bool, error) {
 	a.checkOpen()
 	r := a.newReq(opPut)
 	r.key, r.val = k, v
 	r.syncWait = a.st.syncWaitFor(w)
 	a.run(w, a.pipeOf(k), r)
-	ok := r.rok
+	ok, err := r.rok, r.err
 	a.putReq(r)
-	return ok
+	return ok, err
 }
 
 // Delete removes k through the pipeline; reports presence. Sync
-// policy as in Put.
-func (a *AsyncStore) Delete(w *core.Worker, k uint64) bool {
+// policy and degraded-mode behaviour as in Put.
+func (a *AsyncStore) Delete(w *core.Worker, k uint64) (bool, error) {
 	a.checkOpen()
 	r := a.newReq(opDelete)
 	r.key = k
 	r.syncWait = a.st.syncWaitFor(w)
 	a.run(w, a.pipeOf(k), r)
-	ok := r.rok
+	ok, err := r.rok, r.err
 	a.putReq(r)
-	return ok
+	return ok, err
 }
 
 // PutAsync stores k=v fire-and-forget: the request is submitted and
@@ -964,7 +991,7 @@ func (a *AsyncStore) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok 
 // Store.MultiPut, duplicate keys within the batch may execute in any
 // order relative to each other — the pipeline preserves per-ring FIFO,
 // which is per-shard arrival order, not batch order.
-func (a *AsyncStore) MultiPut(w *core.Worker, kvs []Pair) (inserted int) {
+func (a *AsyncStore) MultiPut(w *core.Worker, kvs []Pair) (int, error) {
 	a.checkOpen()
 	reqs := make([]*request, len(kvs))
 	qs := make([]*pipeShard, len(kvs))
@@ -977,16 +1004,22 @@ func (a *AsyncStore) MultiPut(w *core.Worker, kvs []Pair) (inserted int) {
 		qs[i] = a.pipeOf(kv.Key)
 		a.submit(w, qs[i], r)
 	}
+	inserted := 0
+	var firstErr error
 	for i, r := range reqs {
 		if !r.isDone() {
 			a.await(w, qs[i], r)
 		}
-		if r.rok {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		} else if r.rok {
 			inserted++
 		}
 		a.putReq(r)
 	}
-	return inserted
+	return inserted, firstErr
 }
 
 // collectRanges pushes one opRange request per live shard (each
@@ -1060,7 +1093,10 @@ func (a *AsyncStore) MultiRange(w *core.Worker, reqs []RangeReq) [][]Pair {
 // the drain (their requests slot in behind the cut-off), but the
 // pre-Flush prefix is guaranteed done on return — rings retired by
 // splits included, since the walk covers every ring ever attached.
-func (a *AsyncStore) Flush(w *core.Worker) {
+// With durability on it is a durability barrier too, and the place
+// fire-and-forget write failures surface: a failed sync degrades the
+// shard and returns the typed error.
+func (a *AsyncStore) Flush(w *core.Worker) error {
 	for _, q := range a.pipes() {
 		target := q.ring.tailPos()
 		var s pipeSpinner
@@ -1073,9 +1109,8 @@ func (a *AsyncStore) Flush(w *core.Worker) {
 			}
 		}
 	}
-	// With durability on, Flush is a durability barrier too: one group
-	// commit per shard log covers every write applied above.
-	a.st.syncLogs()
+	// One group commit per shard log covers every write applied above.
+	return a.st.syncLogs()
 }
 
 // Close flushes the rings and marks the pipeline closed: subsequent

@@ -62,7 +62,7 @@ func TestAsyncLinearizableVsModel(t *testing.T) {
 				case 0, 1, 2:
 					ver++
 					v := verValue(k, ver)
-					inserted := a.Put(w, k, v)
+					inserted, _ := a.Put(w, k, v)
 					_, had := model[k]
 					if inserted == had {
 						t.Errorf("worker %d: Put(%d) inserted=%v, model had=%v", wi, k, inserted, had)
@@ -75,7 +75,7 @@ func TestAsyncLinearizableVsModel(t *testing.T) {
 						t.Errorf("worker %d: Get(%d) = %x,%v; model %x,%v", wi, k, v, ok, mv, mok)
 					}
 				case 6:
-					present := a.Delete(w, k)
+					present, _ := a.Delete(w, k)
 					_, had := model[k]
 					if present != had {
 						t.Errorf("worker %d: Delete(%d) present=%v, model had=%v", wi, k, present, had)
@@ -99,7 +99,7 @@ func TestAsyncLinearizableVsModel(t *testing.T) {
 							}
 							model[kv.Key] = kv.Value
 						}
-						if got := a.MultiPut(w, kvs); got != wantIns {
+						if got, _ := a.MultiPut(w, kvs); got != wantIns {
 							t.Errorf("worker %d: MultiPut inserted %d, model wants %d", wi, got, wantIns)
 						}
 					} else {
@@ -163,7 +163,7 @@ func TestAsyncSharedStress(t *testing.T) {
 						k := rng.Uint64() % keyspace
 						switch rng.Uint64() % 6 {
 						case 0, 1:
-							if a.Put(w, k, stressValue(k)) {
+							if ins, _ := a.Put(w, k, stressValue(k)); ins {
 								inserts.Add(1)
 							}
 						case 2:
@@ -171,7 +171,7 @@ func TestAsyncSharedStress(t *testing.T) {
 								checkStressValue(t, k, v)
 							}
 						case 3:
-							if a.Delete(w, k) {
+							if del, _ := a.Delete(w, k); del {
 								deletes.Add(1)
 							}
 						case 4:
@@ -199,7 +199,8 @@ func TestAsyncSharedStress(t *testing.T) {
 									bk := (rng.Uint64() + uint64(j)) % keyspace
 									kvs[j] = Pair{Key: bk, Value: stressValue(bk)}
 								}
-								inserts.Add(int64(a.MultiPut(w, kvs)))
+								n, _ := a.MultiPut(w, kvs)
+								inserts.Add(int64(n))
 							} else {
 								for _, res := range a.MultiRange(w, []RangeReq{
 									{Lo: k, Hi: k + 32},
@@ -243,10 +244,10 @@ func TestAsyncMultiPutInsertCount(t *testing.T) {
 	for i := range kvs {
 		kvs[i] = Pair{Key: uint64(i), Value: stressValue(uint64(i))}
 	}
-	if got := a.MultiPut(w, kvs); got != 64 {
+	if got, _ := a.MultiPut(w, kvs); got != 64 {
 		t.Fatalf("first MultiPut inserted %d, want 64", got)
 	}
-	if got := a.MultiPut(w, kvs); got != 0 {
+	if got, _ := a.MultiPut(w, kvs); got != 0 {
 		t.Fatalf("second MultiPut inserted %d, want 0", got)
 	}
 	if got := st.Len(w); got != 64 {

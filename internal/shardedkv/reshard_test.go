@@ -182,99 +182,6 @@ func TestTrackContentionStats(t *testing.T) {
 	}
 }
 
-// TestSplitUnderLoadLinearizable is the split-under-load equivalence
-// check of the sync store: every worker owns a disjoint key set and
-// mirrors each op on a private model, so return values are exactly
-// predictable, while a splitter thread keeps forcing splits on hot
-// keys mid-stress. All four engines; run with -race.
-func TestSplitUnderLoadLinearizable(t *testing.T) {
-	const workers = 6
-	opsPer := 3_000
-	if testing.Short() {
-		opsPer = 600
-	}
-	for _, spec := range AllEngines() {
-		t.Run(spec.Name, func(t *testing.T) {
-			st := New(Config{Shards: 4, NewEngine: spec.New, Reshard: manualReshard()})
-			var wg sync.WaitGroup
-			stop := make(chan struct{})
-			// The splitter forces a split every few hundred
-			// microseconds, cycling the target key so different shards
-			// (and later their children) split while ops are in flight.
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				w := core.NewWorker(core.WorkerConfig{Class: core.Big})
-				for i := uint64(0); ; i++ {
-					select {
-					case <-stop:
-						return
-					default:
-					}
-					st.ForceSplit(w, i%64)
-					time.Sleep(200 * time.Microsecond)
-				}
-			}()
-			// The shared KV-model harness (kvmodel_test.go) does the
-			// striped drive-and-check; this test contributes the
-			// concurrent splitter.
-			driveKVModel(t, st, nil, workers, opsPer)
-			close(stop)
-			wg.Wait()
-			if st.ReshardStats().Splits == 0 {
-				t.Error("stress ran without a single split; the test lost its point")
-			}
-		})
-	}
-}
-
-// TestAsyncSplitLinearizableVsModel runs the same model equivalence
-// through the combining pipeline while splits fire mid-stress: ring
-// drains, forwarding, and direct fallbacks must all land each op on
-// the engine that owns its key at execution time. Run with -race.
-func TestAsyncSplitLinearizableVsModel(t *testing.T) {
-	const workers = 6
-	opsPer := 3_000
-	if testing.Short() {
-		opsPer = 600
-	}
-	for _, spec := range AllEngines() {
-		t.Run(spec.Name, func(t *testing.T) {
-			st := New(Config{Shards: 4, NewEngine: spec.New, Reshard: manualReshard()})
-			// Small ring + small fixed batch: wraps, elections, and
-			// ring-full direct paths all cross the splits.
-			a := NewAsync(st, AsyncConfig{MaxBatch: 8, RingSize: 32})
-			var wg sync.WaitGroup
-			stop := make(chan struct{})
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				w := core.NewWorker(core.WorkerConfig{Class: core.Big})
-				for i := uint64(0); ; i++ {
-					select {
-					case <-stop:
-						return
-					default:
-					}
-					st.ForceSplit(w, i%64)
-					time.Sleep(300 * time.Microsecond)
-				}
-			}()
-			// Same shared harness as the sync test, but through the
-			// pipeline, with PutAsync as the fire-and-forget hook so the
-			// read-your-write FIFO contract is pinned mid-split.
-			driveKVModel(t, a, a.PutAsync, workers, opsPer)
-			close(stop)
-			wg.Wait()
-			w := core.NewWorker(core.WorkerConfig{Class: core.Big})
-			a.Flush(w)
-			if st.ReshardStats().Splits == 0 {
-				t.Error("async stress ran without a single split")
-			}
-		})
-	}
-}
-
 // TestAsyncSplitNoLostOps is the ring-migration drain check: workers
 // hammer shared keys through the pipeline (including fire-and-forget
 // writes) with exact insert/delete accounting while splits force rings
@@ -321,7 +228,7 @@ func TestAsyncSplitNoLostOps(t *testing.T) {
 				k := rng.Uint64() % keyspace
 				switch rng.Uint64() % 6 {
 				case 0, 1:
-					if a.Put(w, k, stressValue(k)) {
+					if ins, _ := a.Put(w, k, stressValue(k)); ins {
 						inserts.Add(1)
 					}
 				case 2:
@@ -329,7 +236,7 @@ func TestAsyncSplitNoLostOps(t *testing.T) {
 						checkStressValue(t, k, v)
 					}
 				case 3:
-					if a.Delete(w, k) {
+					if del, _ := a.Delete(w, k); del {
 						deletes.Add(1)
 					}
 				case 4:

@@ -178,13 +178,17 @@ type shard struct {
 	// wal is the shard's append-only log when Config.Durability is set;
 	// nil otherwise. Appends run under the shard lock (buffered, no
 	// fsync); Commit/Sync run strictly after release (durable.go).
-	wal     *wal.Log
-	gets    atomic.Uint64
-	puts    atomic.Uint64
-	deletes atomic.Uint64
-	scans   atomic.Uint64
-	batches atomic.Uint64
-	_       [64]byte
+	wal *wal.Log
+	// degraded, once set, marks the shard read-only after a log
+	// failure (degraded.go). One-way, first cause wins; only ever
+	// non-nil when wal is non-nil.
+	degraded atomic.Pointer[DegradedError]
+	gets     atomic.Uint64
+	puts     atomic.Uint64
+	deletes  atomic.Uint64
+	scans    atomic.Uint64
+	batches  atomic.Uint64
+	_        [64]byte
 }
 
 // electTry is the combiner-election TryAcquire: on a
@@ -239,6 +243,8 @@ type Store struct {
 	// dur is the durability state when Config.Durability is set
 	// (durable.go); nil otherwise.
 	dur *durability
+	// degradeEvents counts shards flipped read-only (degraded.go).
+	degradeEvents atomic.Uint64
 }
 
 // retiredStats accumulates the counters of split-away shards.
@@ -298,7 +304,7 @@ func Open(cfg Config) (*Store, error) {
 		s.dur = &durability{
 			root:   d.Dir,
 			genDir: genDirName(d.Dir, gen+1),
-			opts:   wal.Options{SegmentBytes: d.SegmentBytes},
+			opts:   wal.Options{SegmentBytes: d.SegmentBytes, FS: d.FS},
 			wait: [2]bool{
 				core.Big:    resolveWait(d.Interactive, true),
 				core.Little: resolveWait(d.Bulk, false),
@@ -364,44 +370,69 @@ func (s *Store) Get(w *core.Worker, k uint64) ([]byte, bool) {
 
 // Put stores k=v on behalf of worker w; reports insert-vs-replace.
 // With durability on, the record is appended (buffered) under the
-// shard lock and, for a sync-wait class, committed after release —
-// wal.Commit's leader election is the commit pipeline: this writer
-// either piggybacks on an in-flight group sync or leads one for
-// every append since the last.
-func (s *Store) Put(w *core.Worker, k uint64, v []byte) bool {
+// shard lock — strictly before the engine apply, so memory is always
+// a replay of the log — and, for a sync-wait class, committed after
+// release: wal.Commit's leader election is the commit pipeline, so
+// this writer either piggybacks on an in-flight group sync or leads
+// one for every append since the last. A log failure degrades the
+// shard (degraded.go) and returns the typed error; a non-nil error
+// means no durability ack, whatever the bool says.
+func (s *Store) Put(w *core.Worker, k uint64, v []byte) (bool, error) {
 	sh := s.acquireLive(w, hashOf(k))
-	inserted := sh.eng.Put(k, v)
-	s.pad(w)
 	lg := sh.wal
 	var lsn uint64
 	if lg != nil {
-		lsn, _ = lg.Append(wal.KindPut, k, v)
+		if de := sh.degraded.Load(); de != nil {
+			sh.lock.Release(w)
+			return false, de
+		}
+		var err error
+		if lsn, err = lg.Append(wal.KindPut, k, v); err != nil {
+			de := s.degrade(sh, err)
+			sh.lock.Release(w)
+			return false, de
+		}
 	}
+	inserted := sh.eng.Put(k, v)
+	s.pad(w)
 	sh.lock.Release(w)
 	sh.puts.Add(1)
 	if lg != nil && s.syncWaitFor(w) {
-		_ = lg.Commit(lsn)
+		if err := lg.Commit(lsn); err != nil {
+			return inserted, s.degrade(sh, err)
+		}
 	}
-	return inserted
+	return inserted, nil
 }
 
 // Delete removes k on behalf of worker w; reports presence. Sync
-// policy as in Put.
-func (s *Store) Delete(w *core.Worker, k uint64) bool {
+// policy and degraded-mode behaviour as in Put.
+func (s *Store) Delete(w *core.Worker, k uint64) (bool, error) {
 	sh := s.acquireLive(w, hashOf(k))
-	present := sh.eng.Delete(k)
-	s.pad(w)
 	lg := sh.wal
 	var lsn uint64
 	if lg != nil {
-		lsn, _ = lg.Append(wal.KindDelete, k, nil)
+		if de := sh.degraded.Load(); de != nil {
+			sh.lock.Release(w)
+			return false, de
+		}
+		var err error
+		if lsn, err = lg.Append(wal.KindDelete, k, nil); err != nil {
+			de := s.degrade(sh, err)
+			sh.lock.Release(w)
+			return false, de
+		}
 	}
+	present := sh.eng.Delete(k)
+	s.pad(w)
 	sh.lock.Release(w)
 	sh.deletes.Add(1)
 	if lg != nil && s.syncWaitFor(w) {
-		_ = lg.Commit(lsn)
+		if err := lg.Commit(lsn); err != nil {
+			return present, s.degrade(sh, err)
+		}
 	}
-	return present
+	return present, nil
 }
 
 // Len returns the total live-key count, locking one shard at a time
@@ -618,37 +649,72 @@ func (s *Store) MultiGet(w *core.Worker, keys []uint64) (vals [][]byte, ok []boo
 // lock exactly once. Returns the number of newly inserted keys.
 // Duplicate keys within the batch apply in batch order (last wins).
 // With durability on, each touched shard logs its whole sub-batch
-// under the one lock take and a sync-wait class pays at most one
-// group commit per touched shard, after every lock is released.
-func (s *Store) MultiPut(w *core.Worker, kvs []Pair) (inserted int) {
+// under the one lock take — record by record, append before apply, so
+// a mid-batch log failure leaves memory equal to the appended prefix
+// — and a sync-wait class pays at most one group commit per touched
+// shard, after every lock is released. A non-nil error means at least
+// one shard degraded: its pairs (and for a sync-wait class, every
+// pair) carry no durability ack; pairs on healthy shards still
+// applied.
+func (s *Store) MultiPut(w *core.Worker, kvs []Pair) (int, error) {
 	type walMark struct {
-		lg  *wal.Log
+		sh  *shard
 		lsn uint64
 	}
+	inserted := 0
+	var firstErr error
 	var marks []walMark
 	s.execGrouped(w, len(kvs), func(i int) uint64 { return hashOf(kvs[i].Key) }, func(sh *shard, idx []int) {
-		for _, i := range idx {
-			if sh.eng.Put(kvs[i].Key, kvs[i].Value) {
-				inserted++
-			}
-			s.pad(w)
-		}
+		applied := 0
 		if sh.wal != nil {
+			if de := sh.degraded.Load(); de != nil {
+				if firstErr == nil {
+					firstErr = de
+				}
+				return
+			}
 			var lsn uint64
 			for _, i := range idx {
-				lsn, _ = sh.wal.Append(wal.KindPut, kvs[i].Key, kvs[i].Value)
+				l, err := sh.wal.Append(wal.KindPut, kvs[i].Key, kvs[i].Value)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = s.degrade(sh, err)
+					}
+					break
+				}
+				lsn = l
+				if sh.eng.Put(kvs[i].Key, kvs[i].Value) {
+					inserted++
+				}
+				s.pad(w)
+				applied++
 			}
-			marks = append(marks, walMark{lg: sh.wal, lsn: lsn})
+			if applied > 0 {
+				marks = append(marks, walMark{sh: sh, lsn: lsn})
+			}
+		} else {
+			for _, i := range idx {
+				if sh.eng.Put(kvs[i].Key, kvs[i].Value) {
+					inserted++
+				}
+				s.pad(w)
+				applied++
+			}
 		}
-		sh.puts.Add(uint64(len(idx)))
+		sh.puts.Add(uint64(applied))
 		sh.batches.Add(1)
 	})
 	if len(marks) > 0 && s.syncWaitFor(w) {
 		for _, m := range marks {
-			_ = m.lg.Commit(m.lsn)
+			if err := m.sh.wal.Commit(m.lsn); err != nil {
+				de := s.degrade(m.sh, err)
+				if firstErr == nil {
+					firstErr = de
+				}
+			}
 		}
 	}
-	return inserted
+	return inserted, firstErr
 }
 
 // Stats snapshots every live shard's counters under the current map,

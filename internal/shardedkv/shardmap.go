@@ -152,7 +152,7 @@ func (s *Store) newShard(id, group int, depth uint) (*shard, error) {
 			return nil, err
 		}
 		sh.wal = lg
-		s.dur.track(lg)
+		s.dur.track(sh, lg)
 	}
 	return sh, nil
 }
@@ -262,7 +262,7 @@ func (s *Store) split(w *core.Worker, sh *shard) bool {
 			if i == 1 && kids[0].wal != nil {
 				_ = kids[0].wal.Close()
 			}
-			completePending(pend)
+			s.completePending(pend)
 			return false
 		}
 		kids[i] = kid
@@ -304,6 +304,6 @@ func (s *Store) split(w *core.Worker, sh *shard) bool {
 	// Sync-wait writes drained during the rendezvous were applied and
 	// logged but not yet durable; their futures were held back so the
 	// drain never fsyncs under sh's lock. Commit and complete them now.
-	completePending(pend)
+	s.completePending(pend)
 	return true
 }

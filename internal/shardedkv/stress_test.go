@@ -50,7 +50,7 @@ func runStress(t *testing.T, st *Store, workers, opsPer int) {
 				k := rng.Uint64() % keyspace
 				switch rng.Uint64() % 6 {
 				case 0, 1:
-					if st.Put(w, k, stressValue(k)) {
+					if ins, _ := st.Put(w, k, stressValue(k)); ins {
 						inserts.Add(1)
 					}
 				case 2:
@@ -58,7 +58,7 @@ func runStress(t *testing.T, st *Store, workers, opsPer int) {
 						checkStressValue(t, k, v)
 					}
 				case 3:
-					if st.Delete(w, k) {
+					if del, _ := st.Delete(w, k); del {
 						deletes.Add(1)
 					}
 				case 4:
@@ -86,7 +86,8 @@ func runStress(t *testing.T, st *Store, workers, opsPer int) {
 							bk := rng.Uint64() % keyspace
 							kvs[j] = Pair{Key: bk, Value: stressValue(bk)}
 						}
-						inserts.Add(int64(st.MultiPut(w, kvs)))
+						n, _ := st.MultiPut(w, kvs)
+						inserts.Add(int64(n))
 					} else {
 						keys := make([]uint64, n)
 						for j := range keys {

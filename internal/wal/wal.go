@@ -68,6 +68,9 @@ type Options struct {
 	SegmentBytes int64
 	// BufBytes sizes the user-space append buffer.
 	BufBytes int
+	// FS overrides the filesystem the log writes through (nil = the
+	// real one). FaultFS is the fault-injection implementation.
+	FS FS
 }
 
 const (
@@ -111,11 +114,12 @@ var ErrClosed = errors.New("wal: log closed")
 type Log struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast when synced advances or leadership frees
 
-	f        *os.File      // active segment
+	f        File          // active segment
 	w        *bufio.Writer // buffers appends into f
 	segIndex uint64        // index of the active segment
 	segBytes int64         // bytes appended to the active segment
@@ -124,8 +128,8 @@ type Log struct {
 	synced   uint64 // highest LSN known durable
 	syncing  bool   // a group-commit leader is mid-fsync
 
-	sealed      []*os.File // rotated-out segments awaiting their first fsync
-	needDirSync bool       // a segment file was created since the last sync
+	sealed      []File // rotated-out segments awaiting their first fsync
+	needDirSync bool   // a segment file was created since the last sync
 
 	stats  Stats
 	err    error // sticky I/O error; poisons the log
@@ -142,7 +146,11 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.BufBytes <= 0 {
 		opts.BufBytes = defaultBufBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = osFS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, err
 	}
 	segs, _, err := listDir(dir)
@@ -153,7 +161,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if n := len(segs); n > 0 {
 		next = segs[n-1] + 1
 	}
-	l := &Log{dir: dir, opts: opts, segIndex: next}
+	l := &Log{dir: dir, opts: opts, fs: fs, segIndex: next}
 	l.cond = sync.NewCond(&l.mu)
 	if err := l.openSegmentLocked(); err != nil {
 		return nil, err
@@ -170,8 +178,7 @@ func ckptName(idx uint64) string { return fmt.Sprintf("ckpt-%016x.ck", idx) }
 // openSegmentLocked starts segment l.segIndex. Callers hold l.mu (or
 // own the Log exclusively during Open).
 func (l *Log) openSegmentLocked() error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.segIndex)),
-		os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := l.fs.Create(filepath.Join(l.dir, segName(l.segIndex)))
 	if err != nil {
 		return err
 	}
@@ -318,7 +325,7 @@ func (l *Log) leadSyncLocked() {
 	// The expensive part runs without the mutex so appenders keep
 	// flowing into the next batch.
 	if err == nil && dirSync {
-		err = syncDir(l.dir)
+		err = l.fs.SyncDir(l.dir)
 	}
 	for _, f := range sealed {
 		if err == nil {
@@ -366,7 +373,7 @@ func (l *Log) Stats() Stats {
 // fsync; must not run under a shard lock.
 func (l *Log) WriteCheckpoint(boundary uint64, dump func(emit func(key uint64, val []byte) error) error) error {
 	tmp := filepath.Join(l.dir, ckptName(boundary)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := l.fs.CreateTrunc(tmp)
 	if err != nil {
 		return err
 	}
@@ -385,14 +392,14 @@ func (l *Log) WriteCheckpoint(boundary uint64, dump func(emit func(key uint64, v
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		l.fs.Remove(tmp)
 		return err
 	}
-	if rerr := os.Rename(tmp, filepath.Join(l.dir, ckptName(boundary))); rerr != nil {
-		os.Remove(tmp)
+	if rerr := l.fs.Rename(tmp, filepath.Join(l.dir, ckptName(boundary))); rerr != nil {
+		l.fs.Remove(tmp)
 		return rerr
 	}
-	if serr := syncDir(l.dir); serr != nil {
+	if serr := l.fs.SyncDir(l.dir); serr != nil {
 		return serr
 	}
 	// History before the boundary is now redundant. Removal is
@@ -403,12 +410,12 @@ func (l *Log) WriteCheckpoint(boundary uint64, dump func(emit func(key uint64, v
 	}
 	for _, idx := range segs {
 		if idx < boundary {
-			os.Remove(filepath.Join(l.dir, segName(idx)))
+			l.fs.Remove(filepath.Join(l.dir, segName(idx)))
 		}
 	}
 	for _, idx := range ckpts {
 		if idx < boundary {
-			os.Remove(filepath.Join(l.dir, ckptName(idx)))
+			l.fs.Remove(filepath.Join(l.dir, ckptName(idx)))
 		}
 	}
 	return nil
@@ -506,18 +513,6 @@ func (l *Log) CrashDrop() {
 	if active != nil {
 		active.Close()
 	}
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }
 
 // listDir returns the sorted segment and checkpoint indices in dir.
