@@ -188,6 +188,12 @@ bench:
 # wal-pipe-* (pipeline, whole combiner batch per fsync) both carry
 # ops_per_fsync — the group-commit figure of merit, which should sit
 # well above 1 on wal-pipe-* and climb with the combine batch size.
+# The fourth run is the biased-lock leg: a single big worker owning
+# hot shards, so the bias-* and rs-pipe-bias-* rows carry the
+# adopt/revoke counters (bias_adoptions, bias_revocations,
+# bias_fast_acquires) and their ops_per_lock_take should hold level
+# with the corresponding rs-pipe-* rows — the owner's fast path
+# removes the RMW without costing the combiner its batching.
 bench-json:
 	$(GO) run ./cmd/kvbench -engines hashkv,lsm -mixes zipfw,zipf \
 		-locks asl,mutex -pipeline -reshard -ff -shards 4 -cs 1us \
@@ -198,3 +204,7 @@ bench-json:
 	$(GO) run ./cmd/kvbench -engines hashkv -mixes zipfw \
 		-locks asl -pipeline -wal -shards 4 -cs 1us \
 		-dur 500ms -warmup 150ms -json BENCH_kvbench.json
+	$(GO) run ./cmd/kvbench -engines hashkv -mixes zipfw \
+		-locks asl -pipeline -reshard -bias -shards 4 -threads 8 \
+		-bigs 1 -cs 1us -dur 500ms -warmup 150ms \
+		-json BENCH_kvbench.json

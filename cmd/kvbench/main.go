@@ -12,6 +12,8 @@
 //	kvbench -pipeline -mixes zipfw           # ASL vs combining vs plain, one grid
 //	kvbench -pipeline -reshard -ff           # + rs-*, rs-pipe-*, pipe-ff-* rows
 //	kvbench -wal -pipeline                   # + wal-*, wal-pipe-* durable rows
+//	kvbench -bias -bigs 1 -mixes zipfw       # + bias-* biased-shard-lock rows
+//	kvbench -bias -reshard                   # + rs-pipe-bias-* (splits revoke bias)
 //	kvbench -net -mixes zipfw                # the grid over TCP: net-* rows
 //	kvbench -net -netaddr host:7877          # ... against an external kvserver
 //	kvbench -json BENCH_kvbench.json         # append a trajectory record per row
@@ -40,7 +42,13 @@
 // workers issuing interactive-class requests and little workers
 // bulk-class ones, with client-side per-class p99s and admission
 // counts in the records (see cmd/kvbench/README.md for the full flag
-// and schema reference). Like every trajectory number, rs-* and net-*
+// and schema reference). -bias adds bias-<lock> rows (and, with
+// -reshard, rs-pipe-bias-<lock>) whose shard locks carry single-owner
+// bias: the dominant combiner is adopted after a sustained take streak
+// and acquires with plain atomics until foreign traffic or a split
+// revokes it through the epoch/handshake grace period; the rows report
+// bias_adoptions/bias_revocations/bias_fast_acquires alongside the
+// pipeline's ops_per_lock_take. Like every trajectory number, rs-* and net-*
 // rows are trend data, not gates — shared runners are noisy and
 // splits/queueing depend on how fast skew accumulates within the
 // measured window.
@@ -137,6 +145,14 @@ type lockSpec struct {
 	// big-class workers as interactive requests and little-class
 	// workers as bulk.
 	net bool
+	// bias wraps every shard lock with locks.Biased: a shard whose
+	// combining pipeline sees one worker take essentially every lock
+	// acquisition adopts that worker (plain-atomic fast path, no
+	// contended RMW per op) until foreign traffic — or a split —
+	// revokes the bias through the epoch/handshake grace period. Bias
+	// rows route through the pipeline (the adoption signal is the
+	// combiner take streak) and report adoption/revocation counts.
+	bias bool
 }
 
 // expandLocks grows each base lock into its comparison family: the
@@ -144,7 +160,7 @@ type lockSpec struct {
 // fire-and-forget sibling (-ff), and rs-*/rs-pipe-* dynamic-reshard
 // siblings (-reshard) — so handoff policy, combining, and shard
 // fission all answer the same contention in one grid run.
-func expandLocks(lks []lockSpec, pipeline, ff, reshard, walRows bool) []lockSpec {
+func expandLocks(lks []lockSpec, pipeline, ff, reshard, walRows, bias bool) []lockSpec {
 	var out []lockSpec
 	for _, lk := range lks {
 		out = append(out, lk)
@@ -158,6 +174,18 @@ func expandLocks(lks []lockSpec, pipeline, ff, reshard, walRows bool) []lockSpec
 			out = append(out, lockSpec{name: "rs-" + lk.name, f: lk.f, slo: lk.slo, reshard: true})
 			if pipeline {
 				out = append(out, lockSpec{name: "rs-pipe-" + lk.name, f: lk.f, slo: lk.slo, pipe: true, reshard: true})
+			}
+		}
+		if bias {
+			// bias-<lock> is a pipeline row by construction: the
+			// combiner take streak is the adoption signal, and the
+			// ops-per-lock-take column stays unit-compatible with the
+			// pipe-*/rs-pipe-* rows it is compared against. With
+			// -reshard a rs-pipe-bias-<lock> sibling adds splits — every
+			// split of a biased shard revokes the parent's bias first.
+			out = append(out, lockSpec{name: "bias-" + lk.name, f: lk.f, slo: lk.slo, pipe: true, bias: true})
+			if reshard {
+				out = append(out, lockSpec{name: "rs-pipe-bias-" + lk.name, f: lk.f, slo: lk.slo, pipe: true, reshard: true, bias: true})
 			}
 		}
 		if walRows {
@@ -241,9 +269,9 @@ func (f ffAPI) Put(w *core.Worker, k uint64, v []byte) (bool, error) {
 }
 
 // run executes one configuration and returns its summary row, the
-// store's per-shard counters, and (for pipe/rs/wal rows) the
-// aggregate combining, resharding, and log stats.
-func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats, *shardedkv.CombineStats, *shardedkv.ReshardStats, *wal.Stats) {
+// store's per-shard counters, and (for pipe/rs/wal/bias rows) the
+// aggregate combining, resharding, log, and biased-lock stats.
+func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg benchConfig) (stats.Summary, []shardedkv.ShardStats, *shardedkv.CombineStats, *shardedkv.ReshardStats, *wal.Stats, *locks.BiasStats) {
 	// The critical-section pad emulates the paper's AMP regime on a
 	// symmetric host: a little-class holder keeps the shard lock
 	// CSFactor times longer, exactly the condition under which FIFO
@@ -256,6 +284,7 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 		CSPad: func(w *core.Worker) {
 			workload.Spin(shim.CSUnits(cfg.csUnits, w.Class()))
 		},
+		Bias: lk.bias,
 	}
 	if lk.reshard {
 		// An aggressive detector relative to the run length: several
@@ -419,6 +448,13 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 		rs = &r
 	}
 	shardStats := st.Stats()
+	var bs *locks.BiasStats
+	if lk.bias {
+		// Snapshot after the pipeline Flush above so the counters cover
+		// every settled op (split-retired parents included).
+		b := st.AggregateBiasStats()
+		bs = &b
+	}
 	var ws *wal.Stats
 	if lk.wal {
 		s := st.WalStats()
@@ -426,7 +462,7 @@ func run(name string, eng shardedkv.EngineSpec, mix mixSpec, lk lockSpec, cfg be
 		st.Close(core.NewWorker(core.WorkerConfig{Class: core.Big}))
 		os.RemoveAll(walDir)
 	}
-	return merged.Summarize(name, cfg.dur), shardStats, comb, rs, ws
+	return merged.Summarize(name, cfg.dur), shardStats, comb, rs, ws, bs
 }
 
 // netPreload fills half the keyspace over the wire (MultiPut batches)
@@ -692,6 +728,14 @@ type benchRecord struct {
 	Splits        uint64 `json:"splits,omitempty"`
 	ReshardEvents uint64 `json:"reshard_events,omitempty"`
 	Shards        int    `json:"shards,omitempty"`
+	// BiasAdoptions/BiasRevocations/BiasFastAcquires are the bias-*
+	// and rs-pipe-bias-* rows' biased-lock trajectory: cookies minted,
+	// cookies torn down through the revocation handshake (splits and
+	// foreign traffic both land here), and owner acquisitions that
+	// touched only the plain-atomic fast path — no contended RMW.
+	BiasAdoptions    uint64 `json:"bias_adoptions,omitempty"`
+	BiasRevocations  uint64 `json:"bias_revocations,omitempty"`
+	BiasFastAcquires uint64 `json:"bias_fast_acquires,omitempty"`
 	// P99InteractiveNs/P99BulkNs are the net-* rows' per-SLO-class
 	// client-side tails, OpsInteractive/OpsBulk the per-class measured
 	// op counts; BulkWaited counts bulk admissions that queued at the
@@ -778,6 +822,7 @@ func main() {
 	ff := flag.Bool("ff", false, "also run a pipe-ff-<lock> row per lock: writes submitted fire-and-forget (PutAsync)")
 	reshard := flag.Bool("reshard", false, "also run rs-<lock> (and, with -pipeline, rs-pipe-<lock>) rows with the skew detector splitting hot shards mid-run")
 	walRows := flag.Bool("wal", false, "also run wal-<lock> (and, with -pipeline, wal-pipe-<lock>) rows on a durable store: per-shard write-ahead logs with group commit; rows report ops_per_fsync")
+	bias := flag.Bool("bias", false, "also run bias-<lock> (and, with -reshard, rs-pipe-bias-<lock>) rows with biased shard locks: the dominant combiner is adopted as single owner until revoked; rows report bias_adoptions/bias_revocations")
 	netMode := flag.Bool("net", false, "run the grid over the wire: net-<lock> rows drive an in-process kvserver through kvclient connections (big workers interactive, little workers bulk)")
 	netAddr := flag.String("netaddr", "", "with -net: drive an EXTERNAL kvserver at this address instead (one remote/<mix>/net-remote row per mix; engine and lock are the server's)")
 	netConns := flag.Int("netconns", 0, "with -net: client connections shared by the workers; 0 = one per worker")
@@ -830,8 +875,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *netMode {
-		if *ff || *reshard || *walRows {
-			fmt.Fprintln(os.Stderr, "kvbench: -ff/-reshard/-wal rows are local-only; ignoring them under -net")
+		if *ff || *reshard || *walRows || *bias {
+			fmt.Fprintln(os.Stderr, "kvbench: -ff/-reshard/-wal/-bias rows are local-only; ignoring them under -net")
 		}
 		lks = expandNetLocks(lks, *pipeline)
 		if *netAddr != "" {
@@ -840,7 +885,7 @@ func main() {
 			lks = []lockSpec{{name: "net-remote", net: true}}
 		}
 	} else {
-		lks = expandLocks(lks, *pipeline, *ff, *reshard, *walRows)
+		lks = expandLocks(lks, *pipeline, *ff, *reshard, *walRows, *bias)
 	}
 	if *pipeBatch < 0 {
 		fmt.Fprintf(os.Stderr, "kvbench: -pipebatch must be >= 0 (got %d; 0 = adaptive)\n", *pipeBatch)
@@ -898,6 +943,7 @@ func main() {
 				var comb *shardedkv.CombineStats
 				var rs *shardedkv.ReshardStats
 				var ws *wal.Stats
+				var bs *locks.BiasStats
 				var sstats *kvserver.ServerStats
 				if lk.net {
 					var err error
@@ -907,7 +953,7 @@ func main() {
 						os.Exit(1)
 					}
 				} else {
-					row, shardStats, comb, rs, ws = run(name, eng, mix, lk, cfg)
+					row, shardStats, comb, rs, ws, bs = run(name, eng, mix, lk, cfg)
 					lastShards = shardStats
 				}
 				rows = append(rows, row)
@@ -935,6 +981,11 @@ func main() {
 						"  wal: %d records / %d fsyncs = %.2f ops/fsync (%d rotations, %d bytes)\n",
 						ws.Appended, ws.Syncs, ws.OpsPerFsync(), ws.Rotations, ws.Bytes)
 				}
+				if bs != nil {
+					fmt.Fprintf(os.Stderr,
+						"  bias: %d adoptions / %d revocations, %d fast + %d slow acquires (%d foreign tries)\n",
+						bs.Adoptions, bs.Revocations, bs.FastAcquires, bs.SlowAcquires, bs.ForeignTries)
+				}
 				if *jsonPath != "" {
 					engine, mixCol, lockCol := splitRow(name)
 					rec := benchRecord{
@@ -957,6 +1008,11 @@ func main() {
 					if ws != nil {
 						rec.OpsPerFsync = ws.OpsPerFsync()
 						rec.Fsyncs = ws.Syncs
+					}
+					if bs != nil {
+						rec.BiasAdoptions = bs.Adoptions
+						rec.BiasRevocations = bs.Revocations
+						rec.BiasFastAcquires = bs.FastAcquires
 					}
 					if sstats != nil {
 						rec.P99InteractiveNs = row.BigP99

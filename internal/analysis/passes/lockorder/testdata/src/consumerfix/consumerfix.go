@@ -53,3 +53,26 @@ func Invert(w *locksfix.Worker, p *locksfix.Pair) {
 	p.A.Release(w)
 	p.B.Release(w)
 }
+
+// ReenterBiased double-acquires through the biased wrapper from two
+// packages away: both held-set entries come from locksfix's imported
+// summaries, and the self-deadlock is reported against the delegated
+// inner class even though no lock field is named at this call site.
+func ReenterBiased(w *locksfix.Worker, b *locksfix.Biased) {
+	b.Acquire(w)
+	b.Acquire(w) // want `locksfix\.Biased\.inner acquired in ReenterBiased while already held \(self-deadlock\)`
+	b.Release(w)
+	b.Release(w)
+}
+
+// TryBiasedRefined exercises the try-branch refinement through the
+// wrapper's summary: on the failed-try path nothing is held, so the
+// Pair acquisition there is clean.
+func TryBiasedRefined(w *locksfix.Worker, b *locksfix.Biased, p *locksfix.Pair) {
+	if !b.TryAcquire(w) {
+		p.LockBoth(w)
+		p.UnlockBoth(w)
+		return
+	}
+	b.Release(w)
+}

@@ -36,3 +36,30 @@ func (p *Pair) UnlockBoth(w *Worker) {
 	p.B.Release(w)
 	p.A.Release(w)
 }
+
+// Biased stands in for the biased single-owner wrapper: every lock
+// method delegates to the wrapped inner lock, so the wrapper mints no
+// lock class of its own — callers' held-sets carry locksfix.Biased.inner
+// through the exported summaries, and violations through the wrapper
+// are diagnosed against the inner field's class.
+type Biased struct{ inner WLock }
+
+// Acquire delegates to the inner lock (the real fast path skips the
+// inner RMW, but either way the caller holds the inner class).
+func (b *Biased) Acquire(w *Worker) { b.inner.Acquire(w) }
+
+// Release delegates to the inner lock.
+func (b *Biased) Release(w *Worker) { b.inner.Release(w) }
+
+// TryAcquire delegates; on success the caller holds the inner class
+// (ReturnsHeld in the exported summary).
+func (b *Biased) TryAcquire(w *Worker) bool { return b.inner.TryAcquire(w) }
+
+// Revoke tears the bias down. The inner acquire/release pair stands in
+// for the grace-period wait that serializes with the parked owner; the
+// summary says Revoke may acquire the inner class and returns holding
+// nothing.
+func (b *Biased) Revoke(w *Worker) {
+	b.inner.Acquire(w)
+	b.inner.Release(w)
+}

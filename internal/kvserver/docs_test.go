@@ -97,6 +97,9 @@ func TestArchitectureDocCoversServingPath(t *testing.T) {
 		"wal.FaultFS", "ErrInjected", "DegradedError", "IsDegraded",
 		"StatusErrUnavailable", "IsRetryable", "kvsoak", "make soak",
 		"statustext",
+		// Biased locking (§6a) and its load-bearing names.
+		"Biased locking", "locks.Biased", "revocation", "HintAdopt",
+		"Revoke", "bias_revocations",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("ARCHITECTURE.md does not mention %q", want)

@@ -1,110 +1,16 @@
 package locks
 
 import (
-	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 )
 
-// tryFactories is the comparison set whose TryAcquire must behave as a
-// real try: success iff the lock was free, failure while it is held.
-func tryFactories() []struct {
-	name string
-	f    Factory
-} {
-	return []struct {
-		name string
-		f    Factory
-	}{
-		{"pthread", FactoryPthread()},
-		{"sync-mutex", FactorySyncMutex()},
-		{"ticket", FactoryTicket()},
-		{"mcs", FactoryMCS()},
-		{"tas", FactoryTAS(core.Big, 0)},
-		{"proportional", FactoryProportional(2)},
-		{"asl", FactoryASL()},
-		{"asl-blocking", FactoryASLBlocking()},
-		{"cohort", func() WLock { return WrapCohort(NewCohortAMP()) }},
-	}
-}
-
-// TestTryAcquireFreeAndHeld checks the two basic outcomes for every
-// adapter: a try on a free lock wins (and its Release frees the lock
-// again), a try on a held lock fails without blocking — for both
-// worker classes, since class-aware adapters route the try through
-// class-specific paths (cohortW picks the cohort, aslW skips the
-// standby machinery).
-func TestTryAcquireFreeAndHeld(t *testing.T) {
-	for _, tf := range tryFactories() {
-		t.Run(tf.name, func(t *testing.T) {
-			for _, class := range []core.Class{core.Big, core.Little} {
-				l := tf.f()
-				w := core.NewWorker(core.WorkerConfig{Class: class})
-				other := core.NewWorker(core.WorkerConfig{Class: core.Big})
-				if !l.TryAcquire(w) {
-					t.Fatalf("class %v: TryAcquire on a free lock failed", class)
-				}
-				if l.TryAcquire(other) {
-					t.Fatalf("class %v: TryAcquire succeeded while held", class)
-				}
-				l.Release(w)
-				if !l.TryAcquire(other) {
-					t.Fatalf("class %v: TryAcquire after Release failed", class)
-				}
-				l.Release(other)
-			}
-		})
-	}
-}
-
-// TestTryAcquireMutualExclusion mixes blocking Acquire and TryAcquire
-// competitors over one shared counter; any mutual-exclusion violation
-// shows up as a lost update (run with -race to catch the data race
-// directly).
-func TestTryAcquireMutualExclusion(t *testing.T) {
-	const (
-		workers = 8
-		rounds  = 2000
-	)
-	for _, tf := range tryFactories() {
-		t.Run(tf.name, func(t *testing.T) {
-			l := tf.f()
-			var counter int
-			var wg sync.WaitGroup
-			for i := 0; i < workers; i++ {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					class := core.Big
-					if i%2 == 1 {
-						class = core.Little
-					}
-					w := core.NewWorker(core.WorkerConfig{Class: class})
-					for r := 0; r < rounds; r++ {
-						if i%2 == 0 {
-							// Try-path competitor: spin on the try.
-							// Queue-based locks fail the try whenever
-							// waiters are queued, so yield between tries.
-							for !l.TryAcquire(w) {
-								runtime.Gosched()
-							}
-						} else {
-							l.Acquire(w)
-						}
-						counter++
-						l.Release(w)
-					}
-				}(i)
-			}
-			wg.Wait()
-			if counter != workers*rounds {
-				t.Fatalf("lost updates: counter = %d, want %d", counter, workers*rounds)
-			}
-		})
-	}
-}
+// The cross-family TryAcquire contract (free wins, held fails, exact
+// accounting under mixed blocking/try competitors) is checked by the
+// shared torture harness in harness_test.go; this file keeps only the
+// Wrap fallback semantics that sit outside that contract.
 
 // noTryLocker is a Locker without TryLock, exercising Wrap's blocking
 // fallback.
